@@ -1,0 +1,217 @@
+// Package repro's root benchmarks regenerate the paper's performance
+// claims: one benchmark per figure/table axis (see DESIGN.md §4 and
+// EXPERIMENTS.md). Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/checkers"
+	"repro/internal/core"
+	"repro/internal/metal"
+	"repro/internal/prog"
+	"repro/internal/rank"
+	"repro/internal/workload"
+	"repro/mc"
+)
+
+func mustProgB(b *testing.B, srcs map[string]string) *prog.Program {
+	b.Helper()
+	p, err := prog.BuildSource(srcs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func mustCheckerB(b *testing.B, name string) *metal.Checker {
+	b.Helper()
+	c, err := checkers.Parse(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkF4Caching measures the Figure 4 claim: block-level caching
+// turns the exponential path DFS linear. CacheOn stays flat in n;
+// CacheOff doubles per diamond.
+func BenchmarkF4Caching(b *testing.B) {
+	for _, n := range []int{8, 10, 12} {
+		pr := workload.DiamondChain(n)
+		srcs := map[string]string{"d.c": pr.Source}
+		b.Run(fmt.Sprintf("CacheOn/diamonds=%d", n), func(b *testing.B) {
+			p := mustProgB(b, srcs)
+			opts := core.DefaultOptions()
+			opts.FPP = false
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				en := core.NewEngine(p, mustCheckerB(b, "free"), opts)
+				en.Run()
+			}
+		})
+		b.Run(fmt.Sprintf("CacheOff/diamonds=%d", n), func(b *testing.B) {
+			p := mustProgB(b, srcs)
+			opts := core.DefaultOptions()
+			opts.FPP = false
+			opts.BlockCache = false
+			opts.MaxBlocks = 5_000_000
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				en := core.NewEngine(p, mustCheckerB(b, "free"), opts)
+				en.Run()
+			}
+		})
+	}
+}
+
+// BenchmarkE1Independence measures §5.2: analysis work grows linearly
+// with the number of tracked instances.
+func BenchmarkE1Independence(b *testing.B) {
+	for _, k := range []int{4, 16, 64} {
+		pr := workload.InstanceScaling(k, 8)
+		srcs := map[string]string{"s.c": pr.Source}
+		b.Run(fmt.Sprintf("instances=%d", k), func(b *testing.B) {
+			p := mustProgB(b, srcs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				en := core.NewEngine(p, mustCheckerB(b, "free"), core.DefaultOptions())
+				en.Run()
+			}
+		})
+	}
+}
+
+// BenchmarkE2FunctionCache measures §6.2: function-summary memoization
+// across many callsites.
+func BenchmarkE2FunctionCache(b *testing.B) {
+	pr := workload.CallsiteFanout(64)
+	srcs := map[string]string{"c.c": pr.Source}
+	b.Run("CacheOn", func(b *testing.B) {
+		p := mustProgB(b, srcs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			en := core.NewEngine(p, mustCheckerB(b, "free"), core.DefaultOptions())
+			en.Run()
+		}
+	})
+	b.Run("CacheOff", func(b *testing.B) {
+		p := mustProgB(b, srcs)
+		opts := core.DefaultOptions()
+		opts.FunctionCache = false
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			en := core.NewEngine(p, mustCheckerB(b, "free"), opts)
+			en.Run()
+		}
+	})
+}
+
+// BenchmarkE3FPP measures the cost and effect of false path pruning
+// over the contradictory-branch population.
+func BenchmarkE3FPP(b *testing.B) {
+	pr := workload.ContradictoryBranches(50, 0.2, 42)
+	srcs := map[string]string{"x.c": pr.Source}
+	for _, on := range []bool{true, false} {
+		name := "FPPOn"
+		if !on {
+			name = "FPPOff"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := mustProgB(b, srcs)
+			opts := core.DefaultOptions()
+			opts.FPP = on
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				en := core.NewEngine(p, mustCheckerB(b, "free"), opts)
+				en.Run()
+			}
+		})
+	}
+}
+
+// BenchmarkE5Ranking measures the statistical ranking pipeline over a
+// realistic report population.
+func BenchmarkE5Ranking(b *testing.B) {
+	pr := workload.LockReliability(120, 8, 40)
+	p := mustProgB(b, map[string]string{"lk.c": pr.Source})
+	en := core.NewEngine(p, mustCheckerB(b, "lock"), core.DefaultOptions())
+	rs := en.Run()
+	stats := map[string]rank.RuleStat{}
+	for rule, rc := range en.RuleStats {
+		stats[rule] = rank.RuleStat{Rule: rule, Examples: rc.Examples, Violations: rc.Violations}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rank.Statistical(rs.Reports, stats)
+	}
+}
+
+// BenchmarkE8Emit measures pass-1 AST emission (the paper's two-pass
+// front end).
+func BenchmarkE8Emit(b *testing.B) {
+	srcs := workload.LinuxLike(2, 30, 7)
+	var name string
+	var src string
+	for n, s := range srcs {
+		name, src = n, s
+		break
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.EmitAST(name, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaleLinuxLike runs the full checker suite over a generated
+// multi-file driver tree — the closest stand-in for the paper's
+// "scales to large programs" claim.
+func BenchmarkScaleLinuxLike(b *testing.B) {
+	for _, files := range []int{2, 8} {
+		srcs := workload.LinuxLike(files, 25, 7)
+		b.Run(fmt.Sprintf("files=%d", files), func(b *testing.B) {
+			p := mustProgB(b, srcs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, cname := range []string{"free", "lock", "null", "interrupt"} {
+					en := core.NewEngine(p, mustCheckerB(b, cname), core.DefaultOptions())
+					en.Run()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParse measures the C front end alone.
+func BenchmarkParse(b *testing.B) {
+	srcs := workload.LinuxLike(1, 50, 3)
+	var src string
+	for _, s := range srcs {
+		src = s
+		break
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.BuildSource(map[string]string{"x.c": src}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPatternMatch measures the matcher on a hot pattern.
+func BenchmarkPatternMatch(b *testing.B) {
+	pr := workload.UseAfterFree(workload.Config{Seed: 1, Functions: 40, BranchesPerFunc: 3, BugRate: 0.25})
+	p := mustProgB(b, map[string]string{"w.c": pr.Source})
+	c := mustCheckerB(b, "free")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en := core.NewEngine(p, c, core.DefaultOptions())
+		en.Run()
+	}
+}

@@ -1,0 +1,201 @@
+package repro
+
+// End-to-end CLI tests: build and drive the three commands the way a
+// user would. These run `go run ./cmd/...` in the repository root.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const cliFixture = `
+void kfree(void *p);
+void lock(int *l);
+void unlock(int *l);
+int shared;
+int use_after_free(int *p) {
+    kfree(p);
+    return *p;
+}
+void unbalanced(void) {
+    lock(&shared);
+}
+`
+
+func TestXgccCLIBasic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	src := writeTemp(t, "fix.c", cliFixture)
+	out, err := runCmd(t, "./cmd/xgcc", "-checker", "free,lock", src)
+	if err != nil {
+		t.Fatalf("xgcc failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"using p after free!", "never released", "2 reports"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestXgccCLIListAndStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	out, err := runCmd(t, "./cmd/xgcc", "-list")
+	if err != nil {
+		t.Fatalf("xgcc -list failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"free", "lock", "null", "taint", "chroot"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list missing %q:\n%s", want, out)
+		}
+	}
+
+	src := writeTemp(t, "fix.c", cliFixture)
+	out, err = runCmd(t, "./cmd/xgcc", "-checker", "free", "-stats", "-why", src)
+	if err != nil {
+		t.Fatalf("xgcc -stats failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "points=") || !strings.Contains(out, "enters state freed") {
+		t.Errorf("stats/why output wrong:\n%s", out)
+	}
+}
+
+func TestXgccCLITwoPassAndCheckerFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	src := writeTemp(t, "fix.c", cliFixture)
+	checker := writeTemp(t, "my.metal", `
+sm my_checker;
+state decl any_pointer v;
+start: { kfree(v) } ==> v.freed;
+v.freed: { *v } ==> v.stop, { err("MY-MARKER %s", mc_identifier(v)); };
+`)
+	out, err := runCmd(t, "./cmd/xgcc", "-checker-file", checker, "-two-pass", src)
+	if err != nil {
+		t.Fatalf("xgcc -checker-file failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "MY-MARKER p") {
+		t.Errorf("custom checker not applied:\n%s", out)
+	}
+}
+
+func TestMetalcCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	out, err := runCmd(t, "./cmd/metalc", "-bundled", "lock")
+	if err != nil {
+		t.Fatalf("metalc failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"checker lock_checker", "state variable l", "true=l.locked"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metalc output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMcbenchCLISingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	out, err := runCmd(t, "./cmd/mcbench", "-exp", "t2")
+	if err != nil {
+		t.Fatalf("mcbench failed: %v\n%s", err, out)
+	}
+	if strings.Count(out, "-> ok") != 5 {
+		t.Errorf("T2 rows not all ok:\n%s", out)
+	}
+}
+
+func TestXgccCLIJSONAndDirectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.c"), []byte(cliFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCmd(t, "./cmd/xgcc", "-checker", "free", "-json", dir)
+	if err != nil {
+		t.Fatalf("xgcc -json failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, `"checker":"free_checker"`) || !strings.Contains(out, `"message":"using p after free!"`) {
+		t.Errorf("json output wrong:\n%s", out)
+	}
+}
+
+func TestXgccCLIBaselineHistory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	dir := t.TempDir()
+	v1 := filepath.Join(dir, "mod.c")
+	if err := os.WriteFile(v1, []byte(cliFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hist := filepath.Join(dir, "baseline.json")
+
+	// First run: reports appear and are recorded.
+	out, err := runCmd(t, "./cmd/xgcc", "-checker", "free,lock", "-baseline", hist, v1)
+	if err != nil {
+		t.Fatalf("run 1: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "2 reports") {
+		t.Fatalf("run 1 should report twice:\n%s", out)
+	}
+
+	// Second run on an edited version (lines shifted): everything
+	// known is suppressed.
+	if err := os.WriteFile(v1, []byte("/* banner */\n\n"+cliFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runCmd(t, "./cmd/xgcc", "-checker", "free,lock", "-baseline", hist, v1)
+	if err != nil {
+		t.Fatalf("run 2: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "0 reports") {
+		t.Errorf("run 2 should be silent after history suppression:\n%s", out)
+	}
+
+	// Third run with a fresh bug: only the new report surfaces.
+	edited := "/* banner */\n\n" + cliFixture + `
+int fresh_bug(int *q) {
+    kfree(q);
+    return *q;
+}
+`
+	if err := os.WriteFile(v1, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runCmd(t, "./cmd/xgcc", "-checker", "free,lock", "-baseline", hist, v1)
+	if err != nil {
+		t.Fatalf("run 3: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "1 reports") || !strings.Contains(out, "using q after free!") {
+		t.Errorf("run 3 should show only the fresh bug:\n%s", out)
+	}
+}

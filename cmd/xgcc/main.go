@@ -1,0 +1,307 @@
+// Command xgcc is the analysis driver: it applies metal checkers to C
+// sources and prints ranked error reports, reproducing the workflow of
+// the paper's xgcc system.
+//
+// Usage:
+//
+//	xgcc -checker free,lock file1.c file2.c
+//	xgcc -checker-file my_checker.metal -rank z file.c
+//	xgcc -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/checkers"
+	"repro/mc"
+)
+
+func main() {
+	var (
+		checkerNames = flag.String("checker", "free", "comma-separated bundled checker names")
+		checkerFile  = flag.String("checker-file", "", "path to a metal checker source file")
+		list         = flag.Bool("list", false, "list bundled checkers and exit")
+		rankMode     = flag.String("rank", "generic", "report ordering: generic, z, or grouped")
+		stats        = flag.Bool("stats", false, "print engine statistics")
+		supergraph   = flag.String("supergraph", "", "print block/suffix summaries for the named function (Figure 5 style)")
+		twoPass      = flag.Bool("two-pass", false, "emit ASTs to temp files and reload them (the paper's pass 1/pass 2 pipeline)")
+		detailed     = flag.Bool("why", false, "print why-traces with each report")
+		jsonOut      = flag.Bool("json", false, "emit reports as JSON lines")
+		intra        = flag.Bool("intra", false, "disable interprocedural analysis")
+		noFPP        = flag.Bool("no-fpp", false, "disable false path pruning")
+		marks        = flag.String("mark", "", "function annotations, e.g. might_sleep=blocking,panic=pathkill")
+		baseline     = flag.String("baseline", "", "history file: suppress reports recorded there; new reports are appended (§8 History)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range checkers.All() {
+			fmt.Printf("%-14s %s\n", s.Name, s.Doc)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "xgcc: no input files (try -list, or: xgcc -checker free file.c)")
+		os.Exit(2)
+	}
+
+	a := mc.NewAnalyzer()
+	opts := mc.DefaultOptions()
+	opts.Interprocedural = !*intra
+	opts.FPP = !*noFPP
+	a.SetOptions(opts)
+
+	for _, path := range flag.Args() {
+		if *twoPass {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			emitted, err := mc.EmitAST(path, string(data))
+			if err != nil {
+				fatal(err)
+			}
+			tmp, err := os.CreateTemp("", "xgcc-ast-*.sx")
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := tmp.Write(emitted); err != nil {
+				fatal(err)
+			}
+			tmp.Close()
+			reloaded, err := os.ReadFile(tmp.Name())
+			if err != nil {
+				fatal(err)
+			}
+			os.Remove(tmp.Name())
+			f, err := mc.LoadAST(reloaded)
+			if err != nil {
+				fatal(err)
+			}
+			a.AddAST(f)
+			continue
+		}
+		if info, err := os.Stat(path); err == nil && info.IsDir() {
+			if err := a.AddDirectory(path); err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		if err := a.AddFile(path); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *checkerFile != "" {
+		data, err := os.ReadFile(*checkerFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := a.LoadChecker(string(data)); err != nil {
+			fatal(err)
+		}
+	}
+	if *checkerFile == "" || *checkerNames != "free" {
+		for _, name := range strings.Split(*checkerNames, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if err := a.LoadBundledChecker(name); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *marks != "" {
+		for _, m := range strings.Split(*marks, ",") {
+			kv := strings.SplitN(m, "=", 2)
+			if len(kv) == 2 {
+				a.MarkFunction(kv[0], kv[1])
+			}
+		}
+	}
+
+	if *baseline != "" {
+		old, err := readBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		a.SetHistory(old)
+	}
+
+	res, err := a.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if *baseline != "" {
+		if err := appendBaseline(*baseline, res.Reports); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, r := range res.ZRanked() {
+			if err := enc.Encode(jsonReport(r)); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
+	switch *rankMode {
+	case "z":
+		for _, r := range res.ZRanked() {
+			printReport(r, *detailed)
+		}
+	case "grouped":
+		for _, g := range res.Grouped() {
+			fmt.Printf("=== rule %s (z=%.2f, %d reports) ===\n", g.Rule, g.Z, len(g.Reports))
+			for _, r := range g.Reports {
+				printReport(r, *detailed)
+			}
+		}
+	default:
+		for _, r := range res.Ranked() {
+			printReport(r, *detailed)
+		}
+	}
+	fmt.Printf("%d reports\n", len(res.Reports))
+
+	if *supergraph != "" {
+		for name, en := range res.Engines {
+			fmt.Printf("--- supergraph of %s under checker %s ---\n", *supergraph, name)
+			fmt.Print(en.SupergraphString(*supergraph))
+		}
+	}
+	if *stats {
+		names := make([]string, 0, len(res.Stats))
+		for n := range res.Stats {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			s := res.Stats[n]
+			fmt.Printf("checker %s: points=%d blocks=%d paths=%d pruned=%d cache-hits=%d fn-cache-hits=%d\n",
+				n, s.Points, s.Blocks, s.Paths, s.PrunedPaths, s.CacheHits, s.FuncCacheHits)
+		}
+	}
+}
+
+// reportJSON is the machine-readable report shape.
+type reportJSON struct {
+	File            string   `json:"file"`
+	Line            int      `json:"line"`
+	Col             int      `json:"col"`
+	Checker         string   `json:"checker"`
+	Rule            string   `json:"rule"`
+	Message         string   `json:"message"`
+	Function        string   `json:"function"`
+	Class           string   `json:"class,omitempty"`
+	Distance        int      `json:"distance"`
+	Conditionals    int      `json:"conditionals"`
+	SynonymDepth    int      `json:"synonym_depth,omitempty"`
+	Interprocedural bool     `json:"interprocedural,omitempty"`
+	Trace           []string `json:"trace,omitempty"`
+}
+
+func jsonReport(r *mc.Report) reportJSON {
+	return reportJSON{
+		File:            r.Pos.File,
+		Line:            r.Pos.Line,
+		Col:             r.Pos.Col,
+		Checker:         r.Checker,
+		Rule:            r.Rule,
+		Message:         r.Msg,
+		Function:        r.Func,
+		Class:           string(r.Class),
+		Distance:        r.Distance(),
+		Conditionals:    r.Conditionals,
+		SynonymDepth:    r.SynonymDepth,
+		Interprocedural: r.Interprocedural,
+		Trace:           r.Trace,
+	}
+}
+
+func printReport(r *mc.Report, detailed bool) {
+	if detailed {
+		fmt.Print(r.Detailed())
+	} else {
+		fmt.Println(r)
+	}
+}
+
+// baselineEntry is the persisted history record: exactly the §8
+// matching fields ("relatively invariant under edits"), no line
+// numbers.
+type baselineEntry struct {
+	File    string   `json:"file"`
+	Func    string   `json:"function"`
+	Vars    []string `json:"vars"`
+	Checker string   `json:"checker"`
+	Message string   `json:"message"`
+}
+
+func readBaseline(path string) ([]*mc.Report, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []baselineEntry
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return nil, fmt.Errorf("baseline %s: %w", path, err)
+		}
+	}
+	out := make([]*mc.Report, len(entries))
+	for i, e := range entries {
+		r := &mc.Report{Checker: e.Checker, Msg: e.Message, Func: e.Func, Vars: e.Vars}
+		r.Pos.File = e.File
+		out[i] = r
+	}
+	return out, nil
+}
+
+func appendBaseline(path string, reports []*mc.Report) error {
+	old, err := readBaseline(path)
+	if err != nil {
+		return err
+	}
+	seen := map[string]bool{}
+	var entries []baselineEntry
+	add := func(r *mc.Report) {
+		key := r.HistoryKey()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		entries = append(entries, baselineEntry{
+			File: r.Pos.File, Func: r.Func, Vars: r.Vars,
+			Checker: r.Checker, Message: r.Msg,
+		})
+	}
+	for _, r := range old {
+		add(r)
+	}
+	for _, r := range reports {
+		add(r)
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xgcc:", err)
+	os.Exit(1)
+}

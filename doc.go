@@ -1,0 +1,10 @@
+// Package repro is the root of a from-scratch Go reproduction of
+// Hallem, Chelf, Xie & Engler, "A System and Language for Building
+// System-Specific, Static Analyses" (PLDI 2002) — the metal checker
+// language and the xgcc analysis engine.
+//
+// The public API lives in package mc; the engine in internal/core; the
+// experiment harness in cmd/mcbench. See README.md, DESIGN.md, and
+// EXPERIMENTS.md. The root package holds the cross-cutting benchmark
+// suite (bench_test.go), CLI integration tests, and the corpus tests.
+package repro

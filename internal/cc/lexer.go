@@ -1,0 +1,369 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer converts C source text into a token stream. It strips // and
+// /* */ comments and skips preprocessor directives (lines whose first
+// non-blank character is '#'); the fixtures and generated workloads in
+// this repository are preprocessed-free C.
+type Lexer struct {
+	src  string
+	file string
+	off  int
+	line int
+	col  int
+	// AllowDollar enables the '$' token used by metal pattern callouts.
+	AllowDollar bool
+}
+
+// NewLexer returns a lexer over src, attributing positions to file.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+// LexError is a lexical error with position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func (l *Lexer) pos() Pos { return Pos{File: l.file, Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' || c == '\f'
+}
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool  { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isAlnum(c byte) bool  { return isAlpha(c) || isDigit(c) }
+func isHexDig(c byte) bool { return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') }
+
+// skipTrivia consumes whitespace, comments, and preprocessor lines.
+func (l *Lexer) skipTrivia() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case isSpace(c):
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &LexError{Pos: start, Msg: "unterminated block comment"}
+			}
+		case c == '#' && l.col == l.lineStartCol():
+			// Preprocessor directive: skip to end of (possibly continued) line.
+			for l.off < len(l.src) {
+				if l.peek() == '\\' && l.peek2() == '\n' {
+					l.advance()
+					l.advance()
+					continue
+				}
+				if l.peek() == '\n' {
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// lineStartCol returns the column at which a directive may begin. We
+// accept '#' anywhere after leading whitespace; since skipTrivia eats
+// whitespace first, the current column is by construction the first
+// non-blank column, so this always matches.
+func (l *Lexer) lineStartCol() int { return l.col }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipTrivia(); err != nil {
+		return Token{}, err
+	}
+	p := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: p}, nil
+	}
+	c := l.peek()
+	switch {
+	case isAlpha(c):
+		start := l.off
+		for l.off < len(l.src) && isAlnum(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Pos: p}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: p}, nil
+	case isDigit(c) || (c == '.' && isDigit(l.peek2())):
+		return l.lexNumber(p)
+	case c == '\'':
+		return l.lexCharLit(p)
+	case c == '"':
+		return l.lexStringLit(p)
+	}
+	return l.lexPunct(p)
+}
+
+func (l *Lexer) lexNumber(p Pos) (Token, error) {
+	start := l.off
+	isFloat := false
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.off < len(l.src) && isHexDig(l.peek()) {
+			l.advance()
+		}
+	} else {
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		if l.peek() == '.' {
+			isFloat = true
+			l.advance()
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		if l.peek() == 'e' || l.peek() == 'E' {
+			if isDigit(l.peek2()) || ((l.peek2() == '+' || l.peek2() == '-') && l.off+2 < len(l.src) && isDigit(l.src[l.off+2])) {
+				isFloat = true
+				l.advance()
+				if l.peek() == '+' || l.peek() == '-' {
+					l.advance()
+				}
+				for l.off < len(l.src) && isDigit(l.peek()) {
+					l.advance()
+				}
+			}
+		}
+	}
+	// Suffixes: u, l, ul, ll, f, etc.
+	for l.off < len(l.src) {
+		c := l.peek()
+		if c == 'u' || c == 'U' || c == 'l' || c == 'L' {
+			l.advance()
+		} else if (c == 'f' || c == 'F') && isFloat {
+			l.advance()
+		} else {
+			break
+		}
+	}
+	text := l.src[start:l.off]
+	kind := TokIntLit
+	if isFloat {
+		kind = TokFloatLit
+	}
+	return Token{Kind: kind, Text: text, Pos: p}, nil
+}
+
+func (l *Lexer) lexCharLit(p Pos) (Token, error) {
+	l.advance() // '
+	var sb strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			return Token{}, &LexError{Pos: p, Msg: "unterminated character literal"}
+		}
+		c := l.advance()
+		if c == '\'' {
+			break
+		}
+		sb.WriteByte(c)
+		if c == '\\' {
+			if l.off >= len(l.src) {
+				return Token{}, &LexError{Pos: p, Msg: "unterminated character literal"}
+			}
+			sb.WriteByte(l.advance())
+		}
+	}
+	return Token{Kind: TokCharLit, Text: sb.String(), Pos: p}, nil
+}
+
+func (l *Lexer) lexStringLit(p Pos) (Token, error) {
+	l.advance() // "
+	var sb strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			return Token{}, &LexError{Pos: p, Msg: "unterminated string literal"}
+		}
+		c := l.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\n' {
+			return Token{}, &LexError{Pos: p, Msg: "newline in string literal"}
+		}
+		sb.WriteByte(c)
+		if c == '\\' {
+			if l.off >= len(l.src) {
+				return Token{}, &LexError{Pos: p, Msg: "unterminated string literal"}
+			}
+			sb.WriteByte(l.advance())
+		}
+	}
+	return Token{Kind: TokStringLit, Text: sb.String(), Pos: p}, nil
+}
+
+func (l *Lexer) lexPunct(p Pos) (Token, error) {
+	c := l.advance()
+	two := func(next byte, k2, k1 TokKind) Token {
+		if l.peek() == next {
+			l.advance()
+			return Token{Kind: k2, Pos: p}
+		}
+		return Token{Kind: k1, Pos: p}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: TokLParen, Pos: p}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: p}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Pos: p}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: p}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: p}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: p}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: p}, nil
+	case ';':
+		return Token{Kind: TokSemi, Pos: p}, nil
+	case ':':
+		return Token{Kind: TokColon, Pos: p}, nil
+	case '?':
+		return Token{Kind: TokQuestion, Pos: p}, nil
+	case '~':
+		return Token{Kind: TokTilde, Pos: p}, nil
+	case '.':
+		if l.peek() == '.' && l.peek2() == '.' {
+			l.advance()
+			l.advance()
+			return Token{Kind: TokEllipsis, Pos: p}, nil
+		}
+		return Token{Kind: TokDot, Pos: p}, nil
+	case '+':
+		if l.peek() == '+' {
+			l.advance()
+			return Token{Kind: TokInc, Pos: p}, nil
+		}
+		return two('=', TokAddAssign, TokPlus), nil
+	case '-':
+		if l.peek() == '-' {
+			l.advance()
+			return Token{Kind: TokDec, Pos: p}, nil
+		}
+		if l.peek() == '>' {
+			l.advance()
+			return Token{Kind: TokArrow, Pos: p}, nil
+		}
+		return two('=', TokSubAssign, TokMinus), nil
+	case '*':
+		return two('=', TokMulAssign, TokStar), nil
+	case '/':
+		return two('=', TokDivAssign, TokSlash), nil
+	case '%':
+		return two('=', TokModAssign, TokPercent), nil
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return Token{Kind: TokAndAnd, Pos: p}, nil
+		}
+		return two('=', TokAndAssign, TokAmp), nil
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return Token{Kind: TokOrOr, Pos: p}, nil
+		}
+		return two('=', TokOrAssign, TokPipe), nil
+	case '^':
+		return two('=', TokXorAssign, TokCaret), nil
+	case '!':
+		return two('=', TokNe, TokNot), nil
+	case '=':
+		return two('=', TokEq, TokAssign), nil
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return two('=', TokShlAssign, TokShl), nil
+		}
+		return two('=', TokLe, TokLt), nil
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return two('=', TokShrAssign, TokShr), nil
+		}
+		return two('=', TokGe, TokGt), nil
+	case '$':
+		if l.AllowDollar {
+			return Token{Kind: TokDollarHole, Pos: p}, nil
+		}
+	}
+	return Token{}, &LexError{Pos: p, Msg: fmt.Sprintf("unexpected character %q", string(c))}
+}
+
+// LexAll tokenizes the whole input, returning all tokens up to and
+// including EOF.
+func LexAll(file, src string) ([]Token, error) {
+	l := NewLexer(file, src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

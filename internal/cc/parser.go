@@ -1,0 +1,1621 @@
+package cc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser for the C subset. It tracks
+// typedef names and enum constants in a scope stack so that the
+// classic declaration/expression ambiguities resolve the way a C
+// compiler resolves them.
+type Parser struct {
+	toks   []Token
+	pos    int
+	scopes []*parseScope
+	file   string
+}
+
+type parseScope struct {
+	typedefs map[string]*Type
+	tags     map[string]*Type
+	enums    map[string]int64
+}
+
+func newParseScope() *parseScope {
+	return &parseScope{
+		typedefs: map[string]*Type{},
+		tags:     map[string]*Type{},
+		enums:    map[string]int64{},
+	}
+}
+
+// ParseError is a syntax error with position.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// NewParser returns a parser over the given token stream.
+func NewParser(file string, toks []Token) *Parser {
+	return &Parser{toks: toks, file: file, scopes: []*parseScope{newParseScope()}}
+}
+
+// ParseFile lexes and parses a complete translation unit.
+func ParseFile(file, src string) (*File, error) {
+	toks, err := LexAll(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := NewParser(file, toks)
+	return p.parseTranslationUnit()
+}
+
+// ParseExprString parses a single expression (used by tests and the
+// pattern compiler). holes, if non-nil, maps identifier names to their
+// hole declarations; matching identifiers parse as *HoleExpr.
+func ParseExprString(src string) (Expr, error) {
+	toks, err := LexAll("<expr>", src)
+	if err != nil {
+		return nil, err
+	}
+	p := NewParser("<expr>", toks)
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokEOF {
+		return nil, p.errf("trailing tokens after expression")
+	}
+	return e, nil
+}
+
+// ParseTypeString parses a C type name, e.g. "int *" or
+// "struct foo *". The metal front end uses it for hole declarations
+// with concrete C types.
+func ParseTypeString(src string) (*Type, error) {
+	toks, err := LexAll("<type>", src)
+	if err != nil {
+		return nil, err
+	}
+	p := NewParser("<type>", toks)
+	t, err := p.parseTypeName()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokEOF {
+		return nil, p.errf("trailing tokens after type name")
+	}
+	return t, nil
+}
+
+// ParseStmtString parses a single statement.
+func ParseStmtString(src string) (Stmt, error) {
+	toks, err := LexAll("<stmt>", src)
+	if err != nil {
+		return nil, err
+	}
+	p := NewParser("<stmt>", toks)
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokEOF {
+		return nil, p.errf("trailing tokens after statement")
+	}
+	return s, nil
+}
+
+// ---------------------------------------------------------------------------
+// Token plumbing
+// ---------------------------------------------------------------------------
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+
+func (p *Parser) la(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.cur().Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if p.cur().Kind == k {
+		return p.next(), nil
+	}
+	return Token{}, p.errf("expected %s, found %s", k, p.cur())
+}
+
+func (p *Parser) errf(format string, args ...interface{}) error {
+	return &ParseError{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ---------------------------------------------------------------------------
+// Scopes
+// ---------------------------------------------------------------------------
+
+func (p *Parser) pushScope() { p.scopes = append(p.scopes, newParseScope()) }
+func (p *Parser) popScope()  { p.scopes = p.scopes[:len(p.scopes)-1] }
+
+func (p *Parser) declareTypedef(name string, t *Type) {
+	p.scopes[len(p.scopes)-1].typedefs[name] = t
+}
+
+func (p *Parser) lookupTypedef(name string) (*Type, bool) {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if t, ok := p.scopes[i].typedefs[name]; ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (p *Parser) declareTag(name string, t *Type) {
+	p.scopes[len(p.scopes)-1].tags[name] = t
+}
+
+func (p *Parser) lookupTag(name string) (*Type, bool) {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if t, ok := p.scopes[i].tags[name]; ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (p *Parser) declareEnumConst(name string, v int64) {
+	p.scopes[len(p.scopes)-1].enums[name] = v
+}
+
+// ---------------------------------------------------------------------------
+// Translation unit
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseTranslationUnit() (*File, error) {
+	f := &File{Name: p.file}
+	for p.cur().Kind != TokEOF {
+		if p.accept(TokSemi) {
+			continue // stray semicolon
+		}
+		decls, err := p.parseExternalDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Decls = append(f.Decls, decls...)
+	}
+	return f, nil
+}
+
+// parseExternalDecl parses one external declaration: a function
+// definition, or a declaration possibly declaring several names.
+func (p *Parser) parseExternalDecl() ([]Decl, error) {
+	startPos := p.cur().Pos
+	storage, base, err := p.parseDeclSpecifiers()
+	if err != nil {
+		return nil, err
+	}
+	// Tag-only declaration: "struct foo { ... };" or "enum e {...};".
+	if p.cur().Kind == TokSemi {
+		p.next()
+		switch base.Underlying().Kind {
+		case TypeStruct, TypeUnion:
+			return []Decl{&RecordDecl{P: startPos, Type: base}}, nil
+		case TypeEnum:
+			return []Decl{&EnumDecl{P: startPos, Type: base}}, nil
+		}
+		return nil, nil
+	}
+
+	var decls []Decl
+	first := true
+	for {
+		declPos := p.cur().Pos
+		name, wrap, params, variadic, isFunc, err := p.parseNamedDeclarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			return nil, p.errf("expected a declarator name")
+		}
+		t := wrap(base)
+
+		if first && isFunc && p.cur().Kind == TokLBrace {
+			// Function definition.
+			fd := &FuncDecl{
+				P:        declPos,
+				Name:     name,
+				Result:   t.Ret,
+				Params:   params,
+				Variadic: variadic,
+				Storage:  storage,
+				File:     p.file,
+			}
+			p.pushScope()
+			body, err := p.parseCompoundStmt()
+			p.popScope()
+			if err != nil {
+				return nil, err
+			}
+			fd.Body = body
+			return []Decl{fd}, nil
+		}
+		first = false
+
+		if storage == StorageTypedef {
+			named := &Type{Kind: TypeNamed, Name: name, Def: t}
+			p.declareTypedef(name, named)
+			decls = append(decls, &TypedefDecl{P: declPos, Name: name, Type: named})
+		} else if isFunc {
+			decls = append(decls, &FuncDecl{
+				P: declPos, Name: name, Result: t.Ret, Params: params,
+				Variadic: variadic, Storage: storage, File: p.file,
+			})
+		} else {
+			vd := &VarDecl{P: declPos, Name: name, Type: t, Storage: storage}
+			if p.accept(TokAssign) {
+				init, err := p.parseInitializer()
+				if err != nil {
+					return nil, err
+				}
+				vd.Init = init
+			}
+			decls = append(decls, vd)
+		}
+
+		if p.accept(TokComma) {
+			continue
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return decls, nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Declaration specifiers
+// ---------------------------------------------------------------------------
+
+// startsDeclSpecifiers reports whether the current token can begin
+// declaration specifiers.
+func (p *Parser) startsDeclSpecifiers() bool {
+	switch p.cur().Kind {
+	case TokAuto, TokRegister, TokStatic, TokExtern, TokTypedef, TokInline,
+		TokConst, TokVolatile,
+		TokVoid, TokChar, TokShort, TokInt, TokLong, TokFloat, TokDouble,
+		TokSigned, TokUnsigned, TokStruct, TokUnion, TokEnum:
+		return true
+	case TokIdent:
+		_, ok := p.lookupTypedef(p.cur().Text)
+		return ok
+	}
+	return false
+}
+
+// parseDeclSpecifiers parses storage-class specifiers, type
+// specifiers, and qualifiers, returning the storage class and the base
+// type.
+func (p *Parser) parseDeclSpecifiers() (StorageClass, *Type, error) {
+	storage := StorageNone
+	var (
+		sawVoid, sawChar, sawShort, sawLong, sawLongLong  bool
+		sawInt, sawFloat, sawDouble, sawSigned, sawUnsign bool
+		isConst, isVolatile                               bool
+		complexType                                       *Type
+	)
+	seenAny := false
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case TokAuto, TokRegister, TokStatic, TokExtern, TokTypedef:
+			sc := map[TokKind]StorageClass{
+				TokAuto: StorageAuto, TokRegister: StorageRegister,
+				TokStatic: StorageStatic, TokExtern: StorageExtern,
+				TokTypedef: StorageTypedef,
+			}[t.Kind]
+			if storage != StorageNone && storage != sc {
+				return 0, nil, p.errf("conflicting storage classes")
+			}
+			storage = sc
+			p.next()
+		case TokInline:
+			p.next() // accepted, ignored
+		case TokConst:
+			isConst = true
+			p.next()
+		case TokVolatile:
+			isVolatile = true
+			p.next()
+		case TokVoid:
+			sawVoid = true
+			seenAny = true
+			p.next()
+		case TokChar:
+			sawChar = true
+			seenAny = true
+			p.next()
+		case TokShort:
+			sawShort = true
+			seenAny = true
+			p.next()
+		case TokInt:
+			sawInt = true
+			seenAny = true
+			p.next()
+		case TokLong:
+			if sawLong {
+				sawLongLong = true
+			}
+			sawLong = true
+			seenAny = true
+			p.next()
+		case TokFloat:
+			sawFloat = true
+			seenAny = true
+			p.next()
+		case TokDouble:
+			sawDouble = true
+			seenAny = true
+			p.next()
+		case TokSigned:
+			sawSigned = true
+			seenAny = true
+			p.next()
+		case TokUnsigned:
+			sawUnsign = true
+			seenAny = true
+			p.next()
+		case TokStruct, TokUnion:
+			if seenAny || complexType != nil {
+				return 0, nil, p.errf("unexpected %s in declaration specifiers", t.Kind)
+			}
+			rt, err := p.parseRecordSpecifier()
+			if err != nil {
+				return 0, nil, err
+			}
+			complexType = rt
+			seenAny = true
+		case TokEnum:
+			if complexType != nil {
+				return 0, nil, p.errf("unexpected enum in declaration specifiers")
+			}
+			et, err := p.parseEnumSpecifier()
+			if err != nil {
+				return 0, nil, err
+			}
+			complexType = et
+			seenAny = true
+		case TokIdent:
+			// A typedef name is a type specifier only if we have no
+			// other type specifier yet.
+			if !seenAny && complexType == nil {
+				if td, ok := p.lookupTypedef(t.Text); ok {
+					complexType = td
+					seenAny = true
+					p.next()
+					continue
+				}
+			}
+			goto done
+		default:
+			goto done
+		}
+	}
+done:
+	if !seenAny {
+		return 0, nil, p.errf("expected type specifier, found %s", p.cur())
+	}
+	var base *Type
+	switch {
+	case complexType != nil:
+		base = complexType
+	case sawVoid:
+		base = TypeVoidV
+	case sawFloat:
+		base = TypeFloatV
+	case sawDouble:
+		base = TypeDoubleV
+	case sawChar:
+		if sawUnsign {
+			base = TypeUCharV
+		} else {
+			base = TypeCharV
+		}
+	case sawShort:
+		base = &Type{Kind: TypeInt, Size: 2, Unsigned: sawUnsign}
+	case sawLongLong || sawLong:
+		base = &Type{Kind: TypeInt, Size: 8, Unsigned: sawUnsign}
+	case sawInt || sawSigned || sawUnsign:
+		base = &Type{Kind: TypeInt, Size: 4, Unsigned: sawUnsign}
+	default:
+		base = TypeIntV
+	}
+	if isConst || isVolatile {
+		cp := *base
+		cp.Const = isConst
+		cp.Volatile = isVolatile
+		base = &cp
+	}
+	return storage, base, nil
+}
+
+// parseRecordSpecifier parses struct/union specifiers.
+func (p *Parser) parseRecordSpecifier() (*Type, error) {
+	kw := p.next() // struct or union
+	kind := TypeStruct
+	if kw.Kind == TokUnion {
+		kind = TypeUnion
+	}
+	tag := ""
+	if p.cur().Kind == TokIdent {
+		tag = p.next().Text
+	}
+	if p.cur().Kind != TokLBrace {
+		if tag == "" {
+			return nil, p.errf("expected struct tag or body")
+		}
+		if t, ok := p.lookupTag(tag); ok && t.Underlying().Kind == kind {
+			return t, nil
+		}
+		// Forward reference: create an incomplete record and register
+		// it so that a later definition fills it in.
+		t := &Type{Kind: kind, Tag: tag}
+		p.declareTag(tag, t)
+		return t, nil
+	}
+	// Definition.
+	var t *Type
+	if tag != "" {
+		if prev, ok := p.lookupTag(tag); ok && prev.Kind == kind && prev.Fields == nil {
+			t = prev // complete a forward declaration in place
+		}
+	}
+	if t == nil {
+		t = &Type{Kind: kind, Tag: tag}
+		if tag != "" {
+			p.declareTag(tag, t)
+		}
+	}
+	p.next() // {
+	for p.cur().Kind != TokRBrace {
+		_, base, err := p.parseDeclSpecifiers()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			name, wrap, _, _, _, err := p.parseNamedDeclarator(base)
+			if err != nil {
+				return nil, err
+			}
+			ft := wrap(base)
+			// Bit-fields: accept and ignore the width.
+			if p.accept(TokColon) {
+				if _, err := p.parseCondExpr(); err != nil {
+					return nil, err
+				}
+			}
+			t.Fields = append(t.Fields, Field{Name: name, Type: ft})
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+	}
+	p.next() // }
+	return t, nil
+}
+
+// parseEnumSpecifier parses enum specifiers and registers enumerators.
+func (p *Parser) parseEnumSpecifier() (*Type, error) {
+	p.next() // enum
+	tag := ""
+	if p.cur().Kind == TokIdent {
+		tag = p.next().Text
+	}
+	if p.cur().Kind != TokLBrace {
+		if tag == "" {
+			return nil, p.errf("expected enum tag or body")
+		}
+		if t, ok := p.lookupTag(tag); ok && t.Underlying().Kind == TypeEnum {
+			return t, nil
+		}
+		t := &Type{Kind: TypeEnum, Tag: tag}
+		p.declareTag(tag, t)
+		return t, nil
+	}
+	t := &Type{Kind: TypeEnum, Tag: tag}
+	if tag != "" {
+		p.declareTag(tag, t)
+	}
+	p.next() // {
+	var nextVal int64
+	for p.cur().Kind != TokRBrace {
+		nameTok, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		val := nextVal
+		if p.accept(TokAssign) {
+			e, err := p.parseCondExpr()
+			if err != nil {
+				return nil, err
+			}
+			if v, ok := p.constEval(e); ok {
+				val = v
+			}
+		}
+		t.Enums = append(t.Enums, EnumConst{Name: nameTok.Text, Value: val})
+		p.declareEnumConst(nameTok.Text, val)
+		nextVal = val + 1
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------------
+// Declarators
+// ---------------------------------------------------------------------------
+
+// parseNamedDeclarator parses a (possibly abstract) declarator.
+// It returns the declared name ("" when abstract), a type wrapper to
+// apply to the base type, and — when the outermost derivation is a
+// function — the parsed parameter declarations.
+func (p *Parser) parseNamedDeclarator(base *Type) (name string, wrap func(*Type) *Type, params []*VarDecl, variadic bool, isFunc bool, err error) {
+	d, err := p.parseDeclaratorRec()
+	if err != nil {
+		return "", nil, nil, false, false, err
+	}
+	return d.name, d.wrap, d.params, d.variadic, d.isFunc, nil
+}
+
+type declarator struct {
+	name     string
+	wrap     func(*Type) *Type
+	params   []*VarDecl
+	variadic bool
+	isFunc   bool // outermost derivation is a function
+}
+
+func identityWrap(t *Type) *Type { return t }
+
+func (p *Parser) parseDeclaratorRec() (*declarator, error) {
+	// Pointer prefix. The star binds to the base type: "T *f(args)"
+	// declares a function returning T* (isFunc is preserved), while
+	// "T (*fp)(args)" declares a pointer variable (the parenthesized
+	// direct declarator already cleared isFunc).
+	if p.accept(TokStar) {
+		for p.cur().Kind == TokConst || p.cur().Kind == TokVolatile {
+			p.next()
+		}
+		inner, err := p.parseDeclaratorRec()
+		if err != nil {
+			return nil, err
+		}
+		w := inner.wrap
+		inner.wrap = func(b *Type) *Type { return w(PointerTo(b)) }
+		return inner, nil
+	}
+	return p.parseDirectDeclarator()
+}
+
+func (p *Parser) parseDirectDeclarator() (*declarator, error) {
+	d := &declarator{wrap: identityWrap}
+	parenthesized := false
+	switch {
+	case p.cur().Kind == TokIdent:
+		d.name = p.next().Text
+	case p.cur().Kind == TokLParen && p.parenStartsDeclarator():
+		p.next()
+		inner, err := p.parseDeclaratorRec()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		d = inner
+		d.isFunc = false
+		parenthesized = true
+	default:
+		// Abstract declarator with no name: fine, fall through to
+		// suffixes (or no suffixes at all).
+	}
+
+	// Suffixes, applied right-to-left onto the base.
+	type suffix struct {
+		apply func(*Type) *Type
+	}
+	var suffixes []suffix
+	first := true
+	for {
+		switch p.cur().Kind {
+		case TokLBracket:
+			p.next()
+			length := int64(-1)
+			if p.cur().Kind != TokRBracket {
+				e, err := p.parseAssignExpr()
+				if err != nil {
+					return nil, err
+				}
+				if v, ok := p.constEval(e); ok {
+					length = v
+				}
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			n := length
+			suffixes = append(suffixes, suffix{func(b *Type) *Type {
+				return &Type{Kind: TypeArray, Elem: b, ArrayLen: n}
+			}})
+			first = false
+		case TokLParen:
+			p.next()
+			params, types, variadic, err := p.parseParamList()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			if first && !parenthesized {
+				// A parenthesized inner declarator (e.g. (*f)(int))
+				// declares a function pointer, not a function.
+				d.isFunc = true
+				d.params = params
+				d.variadic = variadic
+			}
+			vd := variadic
+			suffixes = append(suffixes, suffix{func(b *Type) *Type {
+				return &Type{Kind: TypeFunc, Ret: b, Params: types, Variadic: vd}
+			}})
+			first = false
+		default:
+			goto suffixesDone
+		}
+	}
+suffixesDone:
+	if len(suffixes) > 0 {
+		innerWrap := d.wrap
+		d.wrap = func(b *Type) *Type {
+			for i := len(suffixes) - 1; i >= 0; i-- {
+				b = suffixes[i].apply(b)
+			}
+			return innerWrap(b)
+		}
+		// d.isFunc already set above for the first suffix; a
+		// parenthesized inner declarator (e.g. (*f)(int)) is not a
+		// plain function declaration.
+	}
+	return d, nil
+}
+
+// parenStartsDeclarator disambiguates "(" beginning a parenthesized
+// declarator (e.g. (*f)(int)) from "(" beginning a parameter list.
+func (p *Parser) parenStartsDeclarator() bool {
+	nxt := p.la(1)
+	switch nxt.Kind {
+	case TokStar, TokLParen:
+		return true
+	case TokIdent:
+		// "(name)" is a declarator only if name is not a typedef name.
+		_, isType := p.lookupTypedef(nxt.Text)
+		return !isType
+	}
+	return false
+}
+
+// parseParamList parses a function parameter list (without parens).
+func (p *Parser) parseParamList() ([]*VarDecl, []*Type, bool, error) {
+	var decls []*VarDecl
+	var types []*Type
+	variadic := false
+	if p.cur().Kind == TokRParen {
+		return nil, nil, false, nil
+	}
+	// "(void)" means no parameters.
+	if p.cur().Kind == TokVoid && p.la(1).Kind == TokRParen {
+		p.next()
+		return nil, nil, false, nil
+	}
+	for {
+		if p.cur().Kind == TokEllipsis {
+			p.next()
+			variadic = true
+			break
+		}
+		declPos := p.cur().Pos
+		_, base, err := p.parseDeclSpecifiers()
+		if err != nil {
+			return nil, nil, false, err
+		}
+		name, wrap, _, _, _, err := p.parseNamedDeclarator(base)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		t := wrap(base)
+		// Array parameters decay to pointers.
+		if t.Underlying().Kind == TypeArray {
+			t = PointerTo(t.Underlying().Elem)
+		}
+		decls = append(decls, &VarDecl{P: declPos, Name: name, Type: t})
+		types = append(types, t)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	return decls, types, variadic, nil
+}
+
+// parseTypeName parses a type-name (as in casts and sizeof).
+func (p *Parser) parseTypeName() (*Type, error) {
+	_, base, err := p.parseDeclSpecifiers()
+	if err != nil {
+		return nil, err
+	}
+	name, wrap, _, _, _, err := p.parseNamedDeclarator(base)
+	if err != nil {
+		return nil, err
+	}
+	if name != "" {
+		return nil, p.errf("unexpected identifier %q in type name", name)
+	}
+	return wrap(base), nil
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseCompoundStmt() (*CompoundStmt, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	cs := &CompoundStmt{P: lb.Pos}
+	p.pushScope()
+	defer p.popScope()
+	for p.cur().Kind != TokRBrace {
+		if p.cur().Kind == TokEOF {
+			return nil, p.errf("unexpected EOF in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		cs.List = append(cs.List, s)
+	}
+	p.next() // }
+	return cs, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokLBrace:
+		return p.parseCompoundStmt()
+	case TokSemi:
+		p.next()
+		return &EmptyStmt{P: t.Pos}, nil
+	case TokIf:
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.accept(TokElse) {
+			els, err = p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{P: t.Pos, Cond: cond, Then: then, Else: els}, nil
+	case TokWhile:
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{P: t.Pos, Cond: cond, Body: body}, nil
+	case TokDo:
+		p.next()
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokWhile); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &DoWhileStmt{P: t.Pos, Body: body, Cond: cond}, nil
+	case TokFor:
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		fs := &ForStmt{P: t.Pos}
+		p.pushScope()
+		defer p.popScope()
+		if !p.accept(TokSemi) {
+			if p.startsDeclSpecifiers() {
+				ds, err := p.parseBlockDecl()
+				if err != nil {
+					return nil, err
+				}
+				fs.Init = ds
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				fs.Init = &ExprStmt{P: e.Pos(), X: e}
+				if _, err := p.expect(TokSemi); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if p.cur().Kind != TokSemi {
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fs.Cond = cond
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		if p.cur().Kind != TokRParen {
+			post, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fs.Post = post
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		fs.Body = body
+		return fs, nil
+	case TokSwitch:
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		tag, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &SwitchStmt{P: t.Pos, Tag: tag, Body: body}, nil
+	case TokCase:
+		p.next()
+		val, err := p.parseCondExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &CaseStmt{P: t.Pos, Val: val, Body: body}, nil
+	case TokDefault:
+		p.next()
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &CaseStmt{P: t.Pos, Val: nil, Body: body}, nil
+	case TokBreak:
+		p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{P: t.Pos}, nil
+	case TokContinue:
+		p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{P: t.Pos}, nil
+	case TokReturn:
+		p.next()
+		rs := &ReturnStmt{P: t.Pos}
+		if p.cur().Kind != TokSemi {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rs.X = e
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return rs, nil
+	case TokGoto:
+		p.next()
+		lbl, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &GotoStmt{P: t.Pos, Label: lbl.Text}, nil
+	case TokIdent:
+		// Label?
+		if p.la(1).Kind == TokColon {
+			name := p.next().Text
+			p.next() // :
+			body, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			return &LabeledStmt{P: t.Pos, Label: name, Body: body}, nil
+		}
+	}
+	if p.startsDeclSpecifiers() {
+		return p.parseBlockDecl()
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{P: e.Pos(), X: e}, nil
+}
+
+// parseBlockDecl parses a block-scope declaration statement (including
+// the trailing semicolon).
+func (p *Parser) parseBlockDecl() (*DeclStmt, error) {
+	startPos := p.cur().Pos
+	storage, base, err := p.parseDeclSpecifiers()
+	if err != nil {
+		return nil, err
+	}
+	ds := &DeclStmt{P: startPos}
+	if p.accept(TokSemi) {
+		return ds, nil // struct/enum definition with no declarator
+	}
+	for {
+		declPos := p.cur().Pos
+		name, wrap, _, _, _, err := p.parseNamedDeclarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			return nil, p.errf("expected a declarator name")
+		}
+		t := wrap(base)
+		if storage == StorageTypedef {
+			named := &Type{Kind: TypeNamed, Name: name, Def: t}
+			p.declareTypedef(name, named)
+			if !p.accept(TokComma) {
+				break
+			}
+			continue
+		}
+		vd := &VarDecl{P: declPos, Name: name, Type: t, Storage: storage}
+		if p.accept(TokAssign) {
+			init, err := p.parseInitializer()
+			if err != nil {
+				return nil, err
+			}
+			vd.Init = init
+		}
+		ds.Decls = append(ds.Decls, vd)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+func (p *Parser) parseInitializer() (Expr, error) {
+	if p.cur().Kind == TokLBrace {
+		lb := p.next()
+		il := &InitList{P: lb.Pos}
+		for p.cur().Kind != TokRBrace {
+			e, err := p.parseInitializer()
+			if err != nil {
+				return nil, err
+			}
+			il.List = append(il.List, e)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+		return il, nil
+	}
+	return p.parseAssignExpr()
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseExpr() (Expr, error) {
+	e, err := p.parseAssignExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokComma {
+		return e, nil
+	}
+	ce := &CommaExpr{P: e.Pos(), List: []Expr{e}}
+	for p.accept(TokComma) {
+		n, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.List = append(ce.List, n)
+	}
+	return ce, nil
+}
+
+func isAssignOp(k TokKind) bool {
+	switch k {
+	case TokAssign, TokAddAssign, TokSubAssign, TokMulAssign, TokDivAssign,
+		TokModAssign, TokAndAssign, TokOrAssign, TokXorAssign,
+		TokShlAssign, TokShrAssign:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseAssignExpr() (Expr, error) {
+	lhs, err := p.parseCondExpr()
+	if err != nil {
+		return nil, err
+	}
+	if isAssignOp(p.cur().Kind) {
+		op := p.next().Kind
+		rhs, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignExpr{P: lhs.Pos(), Op: op, LHS: lhs, RHS: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *Parser) parseCondExpr() (Expr, error) {
+	cond, err := p.parseBinaryExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(TokQuestion) {
+		return cond, nil
+	}
+	then, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	els, err := p.parseCondExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{P: cond.Pos(), Cond: cond, Then: then, Else: els}, nil
+}
+
+// binPrec returns the precedence of a binary operator token, or -1.
+func binPrec(k TokKind) int {
+	switch k {
+	case TokOrOr:
+		return 1
+	case TokAndAnd:
+		return 2
+	case TokPipe:
+		return 3
+	case TokCaret:
+		return 4
+	case TokAmp:
+		return 5
+	case TokEq, TokNe:
+		return 6
+	case TokLt, TokGt, TokLe, TokGe:
+		return 7
+	case TokShl, TokShr:
+		return 8
+	case TokPlus, TokMinus:
+		return 9
+	case TokStar, TokSlash, TokPercent:
+		return 10
+	}
+	return -1
+}
+
+func (p *Parser) parseBinaryExpr(minPrec int) (Expr, error) {
+	lhs, err := p.parseCastExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec := binPrec(p.cur().Kind)
+		if prec < 0 || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.next().Kind
+		rhs, err := p.parseBinaryExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{P: lhs.Pos(), Op: op, X: lhs, Y: rhs}
+	}
+}
+
+// startsTypeName reports whether the current token begins a type name
+// (used to disambiguate casts and sizeof).
+func (p *Parser) startsTypeName() bool {
+	switch p.cur().Kind {
+	case TokVoid, TokChar, TokShort, TokInt, TokLong, TokFloat, TokDouble,
+		TokSigned, TokUnsigned, TokStruct, TokUnion, TokEnum,
+		TokConst, TokVolatile:
+		return true
+	case TokIdent:
+		_, ok := p.lookupTypedef(p.cur().Text)
+		return ok
+	}
+	return false
+}
+
+func (p *Parser) parseCastExpr() (Expr, error) {
+	if p.cur().Kind == TokLParen {
+		// Possible cast: "(" type-name ")" cast-expr.
+		save := p.pos
+		lp := p.next()
+		if p.startsTypeName() {
+			t, err := p.parseTypeName()
+			if err == nil && p.cur().Kind == TokRParen {
+				p.next()
+				// "(T){...}" compound literals are not supported;
+				// "(T)expr" requires an expression to follow.
+				x, err := p.parseCastExpr()
+				if err != nil {
+					return nil, err
+				}
+				return &CastExpr{P: lp.Pos, To: t, X: x}, nil
+			}
+		}
+		p.pos = save
+	}
+	return p.parseUnaryExpr()
+}
+
+func (p *Parser) parseUnaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokInc, TokDec:
+		p.next()
+		x, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{P: t.Pos, Op: t.Kind, X: x}, nil
+	case TokAmp, TokStar, TokPlus, TokMinus, TokTilde, TokNot:
+		p.next()
+		x, err := p.parseCastExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{P: t.Pos, Op: t.Kind, X: x}, nil
+	case TokSizeof:
+		p.next()
+		if p.cur().Kind == TokLParen {
+			save := p.pos
+			p.next()
+			if p.startsTypeName() {
+				tn, err := p.parseTypeName()
+				if err == nil && p.cur().Kind == TokRParen {
+					p.next()
+					return &SizeofExpr{P: t.Pos, Type: tn}, nil
+				}
+			}
+			p.pos = save
+		}
+		x, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &SizeofExpr{P: t.Pos, X: x}, nil
+	}
+	return p.parsePostfixExpr()
+}
+
+func (p *Parser) parsePostfixExpr() (Expr, error) {
+	e, err := p.parsePrimaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case TokLParen:
+			p.next()
+			call := &CallExpr{P: e.Pos(), Fun: e}
+			for p.cur().Kind != TokRParen {
+				arg, err := p.parseAssignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			e = call
+		case TokLBracket:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{P: e.Pos(), X: e, Index: idx}
+		case TokDot, TokArrow:
+			p.next()
+			name, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			e = &FieldExpr{P: e.Pos(), X: e, Name: name.Text, Arrow: t.Kind == TokArrow}
+		case TokInc, TokDec:
+			p.next()
+			e = &UnaryExpr{P: e.Pos(), Op: t.Kind, X: e, Postfix: true}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIdent:
+		p.next()
+		return &Ident{P: t.Pos, Name: t.Text}, nil
+	case TokIntLit:
+		p.next()
+		v := parseIntText(t.Text)
+		return &IntLit{P: t.Pos, Text: t.Text, Value: v}, nil
+	case TokFloatLit:
+		p.next()
+		return &FloatLit{P: t.Pos, Text: t.Text}, nil
+	case TokCharLit:
+		p.next()
+		return &CharLit{P: t.Pos, Text: t.Text}, nil
+	case TokStringLit:
+		p.next()
+		// Adjacent string literals concatenate.
+		text := t.Text
+		for p.cur().Kind == TokStringLit {
+			text += p.next().Text
+		}
+		return &StringLit{P: t.Pos, Text: text}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil // parens folded away
+	}
+	return nil, p.errf("expected expression, found %s", t)
+}
+
+// parseIntText decodes a C integer literal's value (0x.., 0.., decimal
+// with optional u/l suffixes).
+func parseIntText(s string) int64 {
+	for len(s) > 0 {
+		c := s[len(s)-1]
+		if c == 'u' || c == 'U' || c == 'l' || c == 'L' {
+			s = s[:len(s)-1]
+			continue
+		}
+		break
+	}
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v
+	}
+	if v, err := strconv.ParseUint(s, 0, 64); err == nil {
+		return int64(v)
+	}
+	return 0
+}
+
+// constEval evaluates a constant expression with the parser's scope
+// stack available for enum-constant lookup.
+func (p *Parser) constEval(e Expr) (int64, bool) {
+	return ConstEvalEnv(e, func(name string) (int64, bool) {
+		for i := len(p.scopes) - 1; i >= 0; i-- {
+			if v, ok := p.scopes[i].enums[name]; ok {
+				return v, true
+			}
+		}
+		return 0, false
+	})
+}
+
+// ConstEval evaluates a constant integer expression, returning its
+// value and whether evaluation succeeded. It handles the operators
+// that appear in array bounds, enum values, and case labels.
+func ConstEval(e Expr) (int64, bool) { return ConstEvalEnv(e, nil) }
+
+// ConstEvalEnv is ConstEval with an optional resolver for identifiers
+// (enum constants, known globals).
+func ConstEvalEnv(e Expr, resolve func(string) (int64, bool)) (int64, bool) {
+	ev := func(x Expr) (int64, bool) { return ConstEvalEnv(x, resolve) }
+	switch e := e.(type) {
+	case *Ident:
+		if resolve != nil {
+			return resolve(e.Name)
+		}
+		return 0, false
+	case *IntLit:
+		return e.Value, true
+	case *CharLit:
+		if len(e.Text) == 1 {
+			return int64(e.Text[0]), true
+		}
+		if len(e.Text) == 2 && e.Text[0] == '\\' {
+			switch e.Text[1] {
+			case 'n':
+				return '\n', true
+			case 't':
+				return '\t', true
+			case 'r':
+				return '\r', true
+			case '0':
+				return 0, true
+			case '\\':
+				return '\\', true
+			case '\'':
+				return '\'', true
+			}
+		}
+		return 0, false
+	case *UnaryExpr:
+		v, ok := ev(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case TokMinus:
+			return -v, true
+		case TokPlus:
+			return v, true
+		case TokTilde:
+			return ^v, true
+		case TokNot:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *BinaryExpr:
+		x, ok := ev(e.X)
+		if !ok {
+			return 0, false
+		}
+		y, ok := ev(e.Y)
+		if !ok {
+			return 0, false
+		}
+		b2i := func(b bool) int64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		switch e.Op {
+		case TokPlus:
+			return x + y, true
+		case TokMinus:
+			return x - y, true
+		case TokStar:
+			return x * y, true
+		case TokSlash:
+			if y == 0 {
+				return 0, false
+			}
+			return x / y, true
+		case TokPercent:
+			if y == 0 {
+				return 0, false
+			}
+			return x % y, true
+		case TokShl:
+			if y < 0 || y > 63 {
+				return 0, false
+			}
+			return x << uint(y), true
+		case TokShr:
+			if y < 0 || y > 63 {
+				return 0, false
+			}
+			return x >> uint(y), true
+		case TokAmp:
+			return x & y, true
+		case TokPipe:
+			return x | y, true
+		case TokCaret:
+			return x ^ y, true
+		case TokEq:
+			return b2i(x == y), true
+		case TokNe:
+			return b2i(x != y), true
+		case TokLt:
+			return b2i(x < y), true
+		case TokGt:
+			return b2i(x > y), true
+		case TokLe:
+			return b2i(x <= y), true
+		case TokGe:
+			return b2i(x >= y), true
+		case TokAndAnd:
+			return b2i(x != 0 && y != 0), true
+		case TokOrOr:
+			return b2i(x != 0 || y != 0), true
+		}
+		return 0, false
+	case *CondExpr:
+		c, ok := ev(e.Cond)
+		if !ok {
+			return 0, false
+		}
+		if c != 0 {
+			return ev(e.Then)
+		}
+		return ev(e.Else)
+	case *CastExpr:
+		return ev(e.X)
+	case *SizeofExpr:
+		if e.Type != nil {
+			if sz := sizeOf(e.Type); sz > 0 {
+				return sz, true
+			}
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// sizeOf gives a best-effort byte size for a type (LP64 model).
+func sizeOf(t *Type) int64 {
+	u := t.Underlying()
+	switch u.Kind {
+	case TypeInt, TypeFloat:
+		if u.Size > 0 {
+			return int64(u.Size)
+		}
+		return 4
+	case TypePointer:
+		return 8
+	case TypeEnum:
+		return 4
+	case TypeArray:
+		if u.ArrayLen >= 0 {
+			es := sizeOf(u.Elem)
+			if es > 0 {
+				return es * u.ArrayLen
+			}
+		}
+		return 0
+	case TypeStruct:
+		var total int64
+		for _, f := range u.Fields {
+			fs := sizeOf(f.Type)
+			if fs <= 0 {
+				return 0
+			}
+			total += fs
+		}
+		return total
+	case TypeUnion:
+		var max int64
+		for _, f := range u.Fields {
+			fs := sizeOf(f.Type)
+			if fs <= 0 {
+				return 0
+			}
+			if fs > max {
+				max = fs
+			}
+		}
+		return max
+	}
+	return 0
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/metal"
+	"repro/internal/report"
+)
+
+func TestRunFunctionScopesToOne(t *testing.T) {
+	src := `
+void kfree(void *p);
+int bad(int *p) { kfree(p); return *p; }
+int other(int *q) { kfree(q); return *q; }
+`
+	p := buildProg(t, map[string]string{"r.c": src})
+	c, _ := parseChecker(freeChecker)
+	en := NewEngine(p, c, DefaultOptions())
+	rs := en.RunFunction("bad")
+	if rs.Len() != 1 || rs.Reports[0].Func != "bad" {
+		t.Errorf("RunFunction leaked beyond bad: %v", rs.Reports)
+	}
+	if en.RunFunction("nosuch").Len() != 1 {
+		t.Error("unknown function should be a no-op")
+	}
+}
+
+func TestSetPathClassPrecedence(t *testing.T) {
+	st := &pathState{}
+	st.setPathClass(report.ClassMinor)
+	if st.pathClass != report.ClassMinor {
+		t.Error("annotation should beat none")
+	}
+	st.setPathClass(report.ClassError)
+	if st.pathClass != report.ClassError {
+		t.Error("higher priority should win")
+	}
+	st.setPathClass(report.ClassMinor)
+	if st.pathClass != report.ClassError {
+		t.Error("lower priority must not downgrade")
+	}
+	st.setPathClass(report.ClassSecurity)
+	if st.pathClass != report.ClassSecurity {
+		t.Error("SECURITY tops everything")
+	}
+}
+
+func TestFindPolarityForms(t *testing.T) {
+	target, _ := cc.ParseExprString("trylock(l)")
+	wrap := func(src string) cc.Expr {
+		e, err := cc.ParseExprString(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		// Splice the shared target node in place of trylock(l) so
+		// pointer identity is available for findPolarity.
+		out, _ := substExpr(e, target, target)
+		return out
+	}
+	cases := []struct {
+		src  string
+		neg  bool
+		find bool
+	}{
+		{"trylock(l)", false, true},
+		{"!trylock(l)", true, true},
+		{"!!trylock(l)", false, true},
+		{"trylock(l) == 0", true, true},
+		{"trylock(l) != 0", false, true},
+		{"trylock(l) && other", false, true},
+		{"c ? trylock(l) : 0", false, true},
+		{"x = trylock(l)", false, true},
+		{"wrap(trylock(l))", false, true},
+		{"something_else", false, false},
+	}
+	for _, cse := range cases {
+		cond := wrap(cse.src)
+		neg, found := findPolarity(cond, target, false)
+		if found != cse.find || (found && neg != cse.neg) {
+			t.Errorf("%q: neg=%v found=%v, want neg=%v found=%v", cse.src, neg, found, cse.neg, cse.find)
+		}
+	}
+}
+
+func TestRootIdentForms(t *testing.T) {
+	cases := map[string]string{
+		"p":         "p",
+		"*p":        "p",
+		"p->f.g":    "p",
+		"a[i]":      "a",
+		"(char *)p": "p",
+		"&s.field":  "s",
+		"f(x)":      "",
+		"1 + 2":     "",
+	}
+	for src, want := range cases {
+		e, err := cc.ParseExprString(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if got := rootIdent(e); got != want {
+			t.Errorf("rootIdent(%s) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestValueDependsOnForms(t *testing.T) {
+	cases := []struct {
+		expr, name string
+		want       bool
+	}{
+		{"x", "x", true},
+		{"y", "x", false},
+		{"&x", "x", false}, // address, not value
+		{"&x", "y", false},
+		{"*x", "x", true},
+		{"&s->f", "s", true}, // address of field depends on the pointer
+		{"a[i]", "i", true},
+		{"a[i]", "a", true},
+		{"x + y", "y", true},
+		{"f(x)", "x", true},
+		{"f(a)", "x", false},
+		{"(long)x", "x", true},
+		{"&arr[i]", "i", true},
+		{"s.f", "s", true},
+	}
+	for _, c := range cases {
+		e, err := cc.ParseExprString(c.expr)
+		if err != nil {
+			t.Fatalf("%q: %v", c.expr, err)
+		}
+		if got := valueDependsOn(e, c.name); got != c.want {
+			t.Errorf("valueDependsOn(%s, %s) = %v, want %v", c.expr, c.name, got, c.want)
+		}
+	}
+}
+
+func TestTupleAndSMStrings(t *testing.T) {
+	in := &Instance{Var: "v", Obj: "p", Val: "freed"}
+	tup := instTuple("start", in)
+	if tup.Key() != "(start,v:p->freed)" {
+		t.Errorf("tuple key = %q", tup.Key())
+	}
+	if tup.String() != tup.Key() {
+		t.Error("String != Key")
+	}
+	in.Data = 2
+	if in.TupleVal() != "freed/2" {
+		t.Errorf("TupleVal = %q", in.TupleVal())
+	}
+	in.Data = 0
+	if in.TupleVal() != "freed" {
+		t.Errorf("TupleVal = %q", in.TupleVal())
+	}
+	sm := &SM{GState: "start", Active: []*Instance{in}}
+	if got := sm.String(); !strings.Contains(got, "(start,v:p->freed)") {
+		t.Errorf("SM string = %q", got)
+	}
+	empty := &SM{GState: "start"}
+	if got := empty.String(); got != "{(start,<>)}" {
+		t.Errorf("empty SM string = %q", got)
+	}
+}
+
+func TestSupergraphStringAndCalleeOf(t *testing.T) {
+	src := `
+void kfree(void *p);
+void helper(int *h) { kfree(h); }
+int entry(int *p) { helper(p); return *p; }
+`
+	p := buildProg(t, map[string]string{"s.c": src})
+	c, _ := parseChecker(freeChecker)
+	en := NewEngine(p, c, DefaultOptions())
+	en.Run()
+	out := en.SupergraphString("helper")
+	if !strings.Contains(out, "Entry to helper") || !strings.Contains(out, "block:") || !strings.Contains(out, "suffix:") {
+		t.Errorf("supergraph output:\n%s", out)
+	}
+	if en.SupergraphString("nosuch") != "" {
+		t.Error("unknown function should render empty")
+	}
+	// CalleeOf resolves a call expression.
+	call, _ := cc.ParseExprString("helper(p)")
+	if fn := en.CalleeOf("entry", call.(*cc.CallExpr)); fn == nil || fn.Name != "helper" {
+		t.Errorf("CalleeOf = %v", fn)
+	}
+	indirect, _ := cc.ParseExprString("(*fp)(p)")
+	if fn := en.CalleeOf("entry", indirect.(*cc.CallExpr)); fn != nil {
+		t.Error("indirect call should not resolve")
+	}
+}
+
+func TestActionArgForms(t *testing.T) {
+	// Exercise argString/argInstance/ruleName/calleeNameOf arms via a
+	// checker that uses every form.
+	checkerSrc := `
+sm argforms;
+state decl any_pointer v;
+
+start:
+    { seed(v) } ==> v.tracked,
+        { err("at %s in %s n=%s obj=%s", mc_location(), mc_function(), 42, mc_identifier(v)); rule("r", v); violation(); }
+;
+`
+	src := `
+void seed(int *p);
+void f(int *p) { seed(p); }
+`
+	p := buildProg(t, map[string]string{"a.c": src})
+	c, err := metal.Parse(checkerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := NewEngine(p, c, DefaultOptions())
+	rs := en.Run()
+	if rs.Len() != 1 {
+		t.Fatalf("reports = %v", rs.Reports)
+	}
+	msg := rs.Reports[0].Msg
+	for _, frag := range []string{"a.c:3", "in f", "n=42", "obj=p"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("msg %q missing %q", msg, frag)
+		}
+	}
+	if rs.Reports[0].Rule != "r:p" {
+		t.Errorf("rule = %q", rs.Reports[0].Rule)
+	}
+	// violation() with no args uses the transition's rule.
+	if rc := en.RuleStats["r:p"]; rc == nil || rc.Violations != 1 {
+		t.Errorf("rule stats = %+v", en.RuleStats)
+	}
+}
+
+func TestMarkFnStringName(t *testing.T) {
+	// mark_fn with a string literal argument.
+	checkerSrc := `
+sm marker;
+decl any_fn_call fn;
+decl any_arguments args;
+
+start:
+    { fn(args) } && ${ mc_is_call_to(fn, "seed") } ==> start, { mark_fn("target", "flagged"); }
+;
+`
+	src := `
+void seed(void);
+void f(void) { seed(); }
+`
+	p := buildProg(t, map[string]string{"m.c": src})
+	c, err := metal.Parse(checkerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := NewShared()
+	en := NewEngineShared(p, c, DefaultOptions(), shared)
+	en.Run()
+	if !shared.FnMarks["target"]["flagged"] {
+		t.Errorf("marks = %v", shared.FnMarks)
+	}
+}
+
+func TestPendingCreationFalseStop(t *testing.T) {
+	// Path-specific creation where the false side is a real state, not
+	// stop (both sides create).
+	checkerSrc := `
+sm bimodal;
+state decl any_pointer v;
+
+start:
+    { probe(v) } ==> true=v.yes, false=v.no
+;
+
+v.yes:
+    { use(v) } ==> v.stop, { err("used yes"); }
+;
+
+v.no:
+    { use(v) } ==> v.stop, { err("used no"); }
+;
+`
+	src := `
+int probe(int *p); void use(int *p);
+void f(int *p) {
+    if (probe(p))
+        use(p);
+    else
+        use(p);
+}
+`
+	_, rs := runChecker(t, checkerSrc, map[string]string{"b.c": src}, DefaultOptions())
+	var sawYes, sawNo bool
+	for _, r := range rs.Reports {
+		if strings.Contains(r.Msg, "used yes") {
+			sawYes = true
+		}
+		if strings.Contains(r.Msg, "used no") {
+			sawNo = true
+		}
+	}
+	if !sawYes || !sawNo {
+		t.Errorf("both branch creations should fire: %v", rs.Reports)
+	}
+}

@@ -1,0 +1,1297 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cc"
+	"repro/internal/cfg"
+	"repro/internal/fpp"
+	"repro/internal/metal"
+	"repro/internal/pattern"
+	"repro/internal/prog"
+	"repro/internal/report"
+)
+
+// Options selects engine features; the default enables everything the
+// paper describes. Ablation benches switch features off individually.
+type Options struct {
+	// Interprocedural follows calls through the supergraph (§6).
+	Interprocedural bool
+	// BlockCache enables block-level state caching (§5.2).
+	BlockCache bool
+	// FunctionCache enables function-summary memoization (§6.2).
+	FunctionCache bool
+	// FPP enables false path pruning (§8).
+	FPP bool
+	// Synonyms enables assignment synonym tracking (§8).
+	Synonyms bool
+	// Kills enables kill-on-redefinition (§8).
+	Kills bool
+	// MaxBlocks bounds total block traversals (a safety valve for
+	// cache-off ablations on adversarial CFGs; 0 means no bound).
+	MaxBlocks int64
+	// MaxCallDepth bounds interprocedural descent.
+	MaxCallDepth int
+	// MaxPartitions caps the disjoint exit-state partitions built at a
+	// call return (§6.3 step 5).
+	MaxPartitions int
+}
+
+// DefaultOptions enables the full analysis.
+func DefaultOptions() Options {
+	return Options{
+		Interprocedural: true,
+		BlockCache:      true,
+		FunctionCache:   true,
+		FPP:             true,
+		Synonyms:        true,
+		Kills:           true,
+		MaxBlocks:       0,
+		MaxCallDepth:    64,
+		MaxPartitions:   16,
+	}
+}
+
+// Stats counts analysis work for the performance experiments.
+type Stats struct {
+	Points        int64
+	Blocks        int64
+	Paths         int64
+	PrunedPaths   int64
+	CacheHits     int64
+	CacheMisses   int64
+	FuncCacheHits int64
+	FuncFollows   int64
+	RecursionCuts int64
+	// HitBlockLimit reports that MaxBlocks stopped the traversal (the
+	// cache-off ablation safety valve fired).
+	HitBlockLimit bool
+	// Analyses maps function name to the number of times its CFG
+	// traversal was (re)started.
+	Analyses map[string]int
+}
+
+// RuleCount accumulates z-statistic inputs for one rule (§9).
+type RuleCount struct {
+	Examples   int
+	Violations int
+}
+
+// Shared holds state that persists across checkers run in sequence —
+// the composition mechanism of §3.2 (AST/function annotations such as
+// the path-kill flags).
+type Shared struct {
+	FnMarks map[string]map[string]bool
+}
+
+// NewShared returns an empty shared annotation store.
+func NewShared() *Shared { return &Shared{FnMarks: map[string]map[string]bool{}} }
+
+// Engine applies one metal checker to a program.
+type Engine struct {
+	Prog    *prog.Program
+	Checker *metal.Checker
+	Opts    Options
+	Reports *report.Set
+	Stats   Stats
+	// RuleStats feeds statistical ranking.
+	RuleStats map[string]*RuleCount
+
+	shared    *Shared
+	funcs     map[*prog.Function]*funcInfo
+	actions   map[string]ActionFunc
+	callouts  pattern.Registry
+	nextGroup int
+	// transIdx indexes the checker's transitions by source state so
+	// the per-point hot loop avoids rescanning the transition list.
+	transIdx map[metal.StateRef][]*metal.Transition
+}
+
+// NewEngine builds an engine for one checker over a program.
+func NewEngine(p *prog.Program, c *metal.Checker, opts Options) *Engine {
+	return NewEngineShared(p, c, opts, NewShared())
+}
+
+// NewEngineShared builds an engine that shares annotations with other
+// checkers (checker composition, §3.2).
+func NewEngineShared(p *prog.Program, c *metal.Checker, opts Options, shared *Shared) *Engine {
+	en := &Engine{
+		Prog:      p,
+		Checker:   c,
+		Opts:      opts,
+		Reports:   &report.Set{},
+		RuleStats: map[string]*RuleCount{},
+		shared:    shared,
+		funcs:     map[*prog.Function]*funcInfo{},
+		actions:   builtinActions(),
+	}
+	en.Stats.Analyses = map[string]int{}
+	en.transIdx = map[metal.StateRef][]*metal.Transition{}
+	for _, tr := range c.Transitions {
+		en.transIdx[tr.Source] = append(en.transIdx[tr.Source], tr)
+	}
+	en.callouts = pattern.Registry{}
+	for k, v := range pattern.Builtins() {
+		en.callouts[k] = v
+	}
+	for k, v := range c.Callouts {
+		en.callouts[k] = v
+	}
+	en.callouts["mc_fn_marked"] = func(ctx *pattern.Ctx, args []pattern.CalloutArg) bool {
+		if len(args) != 2 || !args[1].IsStr {
+			return false
+		}
+		var name string
+		if args[0].IsStr {
+			name = args[0].Str
+		} else if args[0].Bound && args[0].Binding.Expr != nil {
+			switch e := args[0].Binding.Expr.(type) {
+			case *cc.CallExpr:
+				if id, ok := e.Fun.(*cc.Ident); ok {
+					name = id.Name
+				}
+			case *cc.Ident:
+				name = e.Name
+			}
+		}
+		return name != "" && en.shared.FnMarks[name][args[1].Str]
+	}
+	return en
+}
+
+// RegisterAction installs a custom action verb (general-purpose escape
+// for native Go checkers).
+func (en *Engine) RegisterAction(name string, fn ActionFunc) { en.actions[name] = fn }
+
+// RegisterCallout installs a custom pattern callout.
+func (en *Engine) RegisterCallout(name string, fn pattern.CalloutFunc) { en.callouts[name] = fn }
+
+// MarkFn annotates a function name with a composition flag.
+func (en *Engine) MarkFn(name, key string) {
+	m := en.shared.FnMarks[name]
+	if m == nil {
+		m = map[string]bool{}
+		en.shared.FnMarks[name] = m
+	}
+	m[key] = true
+}
+
+// countRule accumulates an example or violation for a rule (§9).
+func (en *Engine) countRule(rule string, example bool) {
+	rc := en.RuleStats[rule]
+	if rc == nil {
+		rc = &RuleCount{}
+		en.RuleStats[rule] = rc
+	}
+	if example {
+		rc.Examples++
+	} else {
+		rc.Violations++
+	}
+}
+
+func (en *Engine) funcInfo(fn *prog.Function) *funcInfo {
+	fi, ok := en.funcs[fn]
+	if !ok {
+		fi = newFuncInfo(fn.Graph)
+		en.funcs[fn] = fi
+	}
+	return fi
+}
+
+// Analyses returns how many times the named function's traversal was
+// started (experiment E2).
+func (en *Engine) Analyses(name string) int { return en.Stats.Analyses[name] }
+
+// Run applies the checker to the whole program, starting a DFS at each
+// callgraph root (§2.1, §6).
+func (en *Engine) Run() *report.Set {
+	for _, root := range en.Prog.Roots {
+		st := &pathState{
+			sm:        &SM{GState: en.Checker.InitialGlobal()},
+			env:       fpp.NewEnv(),
+			fn:        root,
+			callStack: []*prog.Function{root},
+		}
+		en.Stats.Analyses[root.Name]++
+		en.funcInfo(root).Analyses++
+		en.traverseBlock(st, root.Graph.Entry)
+	}
+	return en.Reports
+}
+
+// RunFunction applies the checker to a single function (used by
+// intraprocedural checkers and tests).
+func (en *Engine) RunFunction(name string) *report.Set {
+	fn := en.Prog.Lookup(name)
+	if fn == nil {
+		return en.Reports
+	}
+	st := &pathState{
+		sm:        &SM{GState: en.Checker.InitialGlobal()},
+		env:       fpp.NewEnv(),
+		fn:        fn,
+		callStack: []*prog.Function{fn},
+	}
+	en.Stats.Analyses[fn.Name]++
+	en.funcInfo(fn).Analyses++
+	en.traverseBlock(st, fn.Graph.Entry)
+	return en.Reports
+}
+
+// ---------------------------------------------------------------------------
+// Path state
+// ---------------------------------------------------------------------------
+
+// pendingBranch is a matched path-specific transition awaiting branch
+// resolution (§3.2).
+type pendingBranch struct {
+	tr       *metal.Transition
+	instKey  string // "var|obj" of the triggering instance; "" for creation
+	bindings pattern.Bindings
+	neg      bool // matched subexpression appears under negation
+}
+
+// pathState is the per-path analysis state: the extension state, the
+// FPP fact environment, and the traversal bookkeeping. Copies are made
+// at path splits so "mutations revert when the extension backtracks"
+// (§5.1).
+type pathState struct {
+	sm        *SM
+	env       *fpp.Env
+	fn        *prog.Function
+	backtrace []traceEntry
+	callStack []*prog.Function
+	callDepth int
+	killPath  bool
+	pathClass report.Class
+	pending   []pendingBranch
+}
+
+// cloneFor duplicates the state for a path split.
+func (st *pathState) cloneFor() *pathState {
+	out := &pathState{
+		sm:        st.sm.clone(),
+		fn:        st.fn,
+		callDepth: st.callDepth,
+		killPath:  st.killPath,
+		pathClass: st.pathClass,
+	}
+	if st.env != nil {
+		out.env = st.env.Clone()
+	}
+	out.backtrace = append([]traceEntry(nil), st.backtrace...)
+	out.callStack = append([]*prog.Function(nil), st.callStack...)
+	out.pending = append([]pendingBranch(nil), st.pending...)
+	return out
+}
+
+// setPathClass keeps the highest-priority annotation seen on the
+// path; any annotation beats none.
+func (st *pathState) setPathClass(c report.Class) {
+	if st.pathClass == report.ClassNone || c.Rank() < st.pathClass.Rank() {
+		st.pathClass = c
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Block recorder
+// ---------------------------------------------------------------------------
+
+// blockRec tracks one traversal of one block so its summary edges can
+// be recorded at block end. Keys are "var|obj" strings so the recorder
+// survives state cloning at mid-block call forks.
+type blockRec struct {
+	entryG string
+	fp     string
+	entry  map[string]Tuple
+	killed map[string]Tuple
+	// createdKilled holds stop tuples for instances created and then
+	// killed within the block (add edges ending in stop).
+	createdKilled []Tuple
+}
+
+func instKey(varName, obj string) string { return varName + "|" + obj }
+
+func newBlockRec(sm *SM) *blockRec {
+	rec := &blockRec{entryG: sm.GState, entry: map[string]Tuple{}, killed: map[string]Tuple{}}
+	for _, in := range sm.Active {
+		if in.Inactive {
+			continue
+		}
+		rec.entry[instKey(in.Var, in.Obj)] = instTuple(sm.GState, in)
+	}
+	return rec
+}
+
+func (r *blockRec) clone() *blockRec {
+	out := &blockRec{entryG: r.entryG, fp: r.fp, entry: map[string]Tuple{}, killed: map[string]Tuple{}}
+	for k, v := range r.entry {
+		out.entry[k] = v
+	}
+	for k, v := range r.killed {
+		out.killed[k] = v
+	}
+	out.createdKilled = append([]Tuple(nil), r.createdKilled...)
+	return out
+}
+
+// noteKill records an instance's removal for summary generation.
+func (r *blockRec) noteKill(g string, in *Instance) {
+	key := instKey(in.Var, in.Obj)
+	stop := Tuple{G: g, Var: in.Var, Obj: in.Obj, Val: StopVal, ObjExpr: in.ObjExpr}
+	if _, known := r.entry[key]; known {
+		r.killed[key] = stop
+	} else {
+		r.createdKilled = append(r.createdKilled, stop)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Traversal
+// ---------------------------------------------------------------------------
+
+// localOmitFor builds the suffix-edge filter: objects mentioning the
+// function's non-parameter locals are omitted from suffix summaries
+// (Figure 5: "none of the suffix summaries record any information
+// about q because q is a local variable").
+func (en *Engine) localOmitFor(fn *prog.Function) func(Tuple) bool {
+	params := map[string]bool{}
+	for _, p := range fn.Decl.Params {
+		params[p.Name] = true
+	}
+	nonParam := map[string]bool{}
+	for name := range fn.Graph.Locals {
+		if !params[name] {
+			nonParam[name] = true
+		}
+	}
+	return func(t Tuple) bool {
+		if t.ObjExpr == nil {
+			return false
+		}
+		return mentionsAny(t.ObjExpr, nonParam)
+	}
+}
+
+// traverseBlock is the heart of Figure 4: the caching DFS.
+func (en *Engine) traverseBlock(st *pathState, b *cfg.Block) {
+	if en.Opts.MaxBlocks > 0 && en.Stats.Blocks >= en.Opts.MaxBlocks {
+		en.Stats.HitBlockLimit = true
+		return
+	}
+	en.Stats.Blocks++
+	bi := en.funcInfo(st.fn).info(b)
+
+	// Block-level cache check (§5.2): drop every state tuple already
+	// covered by the block summary; abort the path when nothing
+	// remains. Coverage is refined by the FPP fact fingerprint so that
+	// paths with different branch facts are not conflated (see
+	// blockInfo.coversUnder).
+	fp := ""
+	if en.Opts.FPP && st.env != nil {
+		fp = st.env.Fingerprint()
+	}
+	if en.Opts.BlockCache {
+		tuples := st.sm.Tuples()
+		allHit := true
+		var keep []*Instance
+		for _, in := range st.sm.Active {
+			if in.Inactive {
+				keep = append(keep, in)
+				continue
+			}
+			if bi.coversUnder(instTuple(st.sm.GState, in), fp) {
+				en.Stats.CacheHits++
+			} else {
+				allHit = false
+				keep = append(keep, in)
+			}
+		}
+		if len(tuples) == 1 && tuples[0].IsPlaceholder() {
+			allHit = bi.coversUnder(tuples[0], fp)
+			if allHit {
+				en.Stats.CacheHits++
+			}
+		}
+		if allHit {
+			relax(st.backtrace, bi, false, en.localOmitFor(st.fn))
+			return
+		}
+		en.Stats.CacheMisses++
+		st.sm.Active = keep
+	}
+
+	st.backtrace = append(st.backtrace, traceEntry{block: b, info: bi})
+	rec := newBlockRec(st.sm)
+	rec.fp = fp
+
+	if b.Exit {
+		en.endOfPath(st, rec)
+		en.finishBlock(st, b, bi, rec)
+		return
+	}
+
+	var points []cc.Expr
+	for _, e := range b.Exprs {
+		points = cc.ExecOrder(e, points)
+	}
+	en.runFrom(st, b, bi, rec, points, 0)
+}
+
+// runFrom processes block points starting at index idx, then finishes
+// the block. Mid-block call returns with multiple disjoint exit states
+// fork here: each partition continues the remaining points
+// independently (§6.3 step 6).
+func (en *Engine) runFrom(st *pathState, b *cfg.Block, bi *blockInfo, rec *blockRec, points []cc.Expr, idx int) {
+	for i := idx; i < len(points); i++ {
+		pt := points[i]
+		en.Stats.Points++
+		fired := en.applyExtension(st, b, rec, pt)
+		if st.killPath {
+			en.finishBlock(st, b, bi, rec)
+			return
+		}
+		switch x := pt.(type) {
+		case *cc.AssignExpr:
+			en.handleAssign(st, rec, x, pt)
+		case *cc.UnaryExpr:
+			if x.Op == cc.TokInc || x.Op == cc.TokDec {
+				en.handleMutation(st, rec, x.X)
+			}
+		case *cc.CallExpr:
+			if !fired && en.Opts.Interprocedural {
+				if forked := en.followCall(st, b, bi, rec, x, points, i); forked {
+					return
+				}
+			}
+		}
+	}
+	// Statement point: a block ending in "return [expr];" offers one
+	// synthetic point where return-statement patterns match (§4).
+	if b.IsReturn {
+		en.Stats.Points++
+		en.applyExtensionCtx(st, b, rec, b.ReturnX, true)
+		if st.killPath {
+			en.finishBlock(st, b, bi, rec)
+			return
+		}
+	}
+	en.finishBlock(st, b, bi, rec)
+}
+
+// finishBlock records the block's summary edges (§5.2) and descends
+// into the successors (or ends the path).
+func (en *Engine) finishBlock(st *pathState, b *cfg.Block, bi *blockInfo, rec *blockRec) {
+	gEnd := st.sm.GState
+	// Global-instance edge, recorded on every traversal (§6.2 needs it
+	// to relax add edges through gstate-preserving blocks). It joins
+	// the cache-relevant transition edges only when the placeholder
+	// actually was the extension state.
+	ghost := edge{From: placeholderTuple(rec.entryG), To: placeholderTuple(gEnd)}
+	bi.gstate.add(ghost)
+	if len(rec.entry) == 0 {
+		bi.trans.add(ghost)
+		bi.noteSeen(placeholderTuple(rec.entryG), rec.fp)
+	}
+	for _, from := range rec.entry {
+		bi.noteSeen(from, rec.fp)
+	}
+
+	current := map[string]*Instance{}
+	for _, in := range st.sm.Active {
+		if in.Inactive {
+			continue
+		}
+		current[instKey(in.Var, in.Obj)] = in
+	}
+	// Transition edges for each entry tuple ("Each state tuple that
+	// reaches a block generates exactly one transition edge, where the
+	// transition can be the identity").
+	for key, from := range rec.entry {
+		if to, wasKilled := rec.killed[key]; wasKilled {
+			bi.trans.add(edge{From: from, To: to})
+			continue
+		}
+		if in, ok := current[key]; ok {
+			bi.trans.add(edge{From: from, To: instTuple(gEnd, in)})
+		} else {
+			// The instance left scope some other way (e.g. dropped at
+			// a call boundary); record a stop edge.
+			to := from
+			to.G = gEnd
+			to.Val = StopVal
+			bi.trans.add(edge{From: from, To: to})
+		}
+	}
+	// Add edges for instances created during the block.
+	for key, in := range current {
+		if _, known := rec.entry[key]; known {
+			continue
+		}
+		from := unknownTuple(rec.entryG, in.Var, in.Obj)
+		from.ObjExpr = in.ObjExpr
+		bi.adds.add(edge{From: from, To: instTuple(gEnd, in)})
+	}
+	for _, stop := range rec.createdKilled {
+		from := unknownTuple(rec.entryG, stop.Var, stop.Obj)
+		from.ObjExpr = stop.ObjExpr
+		bi.adds.add(edge{From: from, To: stop})
+	}
+
+	if st.killPath || len(b.Succs) == 0 {
+		en.endPath(st)
+		return
+	}
+	en.descend(st, b)
+}
+
+// endPath finishes a path: relax suffix summaries backwards along the
+// backtrace (Figure 6).
+func (en *Engine) endPath(st *pathState) {
+	en.Stats.Paths++
+	if len(st.backtrace) == 0 {
+		return
+	}
+	last := st.backtrace[len(st.backtrace)-1]
+	relax(st.backtrace[:len(st.backtrace)-1], last.info, last.block.Exit && !st.killPath,
+		en.localOmitFor(st.fn))
+}
+
+// descend explores the block's successors, splitting the extension
+// state per path (§2.2 step 4), evaluating branch conditions for
+// false-path pruning (§8), and applying pending path-specific
+// transitions (§3.2).
+func (en *Engine) descend(st *pathState, b *cfg.Block) {
+	switch {
+	case b.Cond != nil:
+		verdict := fpp.Unknown
+		if en.Opts.FPP && st.env != nil {
+			verdict = st.env.EvalCond(b.Cond)
+		}
+		for _, e := range b.Succs {
+			var taken bool
+			switch e.Kind {
+			case cfg.EdgeTrue:
+				taken = true
+			case cfg.EdgeFalse:
+				taken = false
+			default:
+				taken = true
+			}
+			if (verdict == fpp.MustTrue && !taken) || (verdict == fpp.MustFalse && taken) {
+				en.Stats.PrunedPaths++
+				continue
+			}
+			ns := st.cloneFor()
+			if en.Opts.FPP && ns.env != nil {
+				ns.env.AssumeCond(b.Cond, taken)
+				if ns.env.Contradicted() {
+					en.Stats.PrunedPaths++
+					continue
+				}
+			}
+			en.noteConditional(ns)
+			en.applyPending(ns, taken)
+			en.traverseBlock(ns, e.To)
+		}
+	case b.Switch != nil:
+		var caseVals []int64
+		for _, e := range b.Succs {
+			if e.Kind == cfg.EdgeCase && e.CaseConst {
+				caseVals = append(caseVals, e.CaseVal)
+			}
+		}
+		for _, e := range b.Succs {
+			ns := st.cloneFor()
+			if en.Opts.FPP && ns.env != nil {
+				switch e.Kind {
+				case cfg.EdgeCase:
+					if e.CaseConst {
+						ns.env.AssumeCase(b.Switch, e.CaseVal)
+					}
+				case cfg.EdgeDefault:
+					for _, v := range caseVals {
+						ns.env.AssumeNotCase(b.Switch, v)
+					}
+				}
+				if ns.env.Contradicted() {
+					en.Stats.PrunedPaths++
+					continue
+				}
+			}
+			en.noteConditional(ns)
+			en.applyPending(ns, true)
+			en.traverseBlock(ns, e.To)
+		}
+	default:
+		for i, e := range b.Succs {
+			ns := st
+			if len(b.Succs) > 1 || i < len(b.Succs)-1 {
+				ns = st.cloneFor()
+			}
+			en.applyPending(ns, true)
+			en.traverseBlock(ns, e.To)
+		}
+	}
+}
+
+// noteConditional bumps the conditionals-crossed counter on every
+// live instance (ranking criterion 2, §9).
+func (en *Engine) noteConditional(st *pathState) {
+	for _, in := range st.sm.Active {
+		in.Conds++
+	}
+}
+
+// applyPending resolves path-specific transitions for the chosen
+// branch direction (§3.2).
+func (en *Engine) applyPending(st *pathState, taken bool) {
+	pend := st.pending
+	st.pending = nil
+	for _, p := range pend {
+		eff := taken
+		if p.neg {
+			eff = !eff
+		}
+		dest := p.tr.FalseDest
+		if eff {
+			dest = p.tr.TrueDest
+		}
+		if p.instKey == "" {
+			// Creation: attach the destination state to the bound
+			// object unless the destination is stop.
+			if dest.IsStop() || dest.Var == "" {
+				continue
+			}
+			bnd, ok := p.bindings[dest.Var]
+			if !ok || bnd.Expr == nil {
+				continue
+			}
+			en.createInstance(st, nil, dest.Var, dest.Val, bnd.Expr, nil, p.bindings)
+			continue
+		}
+		// Instance transition.
+		var inst *Instance
+		for _, in := range st.sm.Active {
+			if instKey(in.Var, in.Obj) == p.instKey {
+				inst = in
+				break
+			}
+		}
+		if inst == nil {
+			continue
+		}
+		if dest.IsStop() {
+			en.killInstance(st, nil, inst, true)
+		} else {
+			oldVal := inst.Val
+			for _, m := range st.sm.GroupMembers(inst) {
+				if m.Val == oldVal {
+					m.Val = dest.Val
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Extension application at a program point
+// ---------------------------------------------------------------------------
+
+// matchCtx builds the pattern-match context for a point. The current
+// block's branch condition (if any) is exposed to callouts through
+// Extra["branch_cond"], so checkers can recognize "this use is itself
+// the branch condition" idioms (the null checker's bare "if (v)").
+func (en *Engine) matchCtx(st *pathState, b *cfg.Block, pt cc.Expr, endOfPath, returnPoint bool) *pattern.Ctx {
+	ctx := &pattern.Ctx{
+		Point:       pt,
+		Types:       st.fn.Types,
+		Callouts:    en.callouts,
+		EndOfPath:   endOfPath,
+		ReturnPoint: returnPoint,
+		FuncName:    st.fn.Name,
+	}
+	ctx.Extra = map[string]interface{}{"locals": st.fn.Graph.Locals}
+	if b != nil {
+		if b.Cond != nil {
+			ctx.Extra["branch_cond"] = b.Cond
+		}
+		if b.ReturnX != nil {
+			ctx.Extra["return_expr"] = b.ReturnX
+		}
+	}
+	return ctx
+}
+
+// applyExtension runs the checker at one program point; it reports
+// whether any transition matched (used to decide whether to follow a
+// call: "The analysis does not follow calls to kfree because the
+// extension matches these calls", Figure 5 caption).
+func (en *Engine) applyExtension(st *pathState, b *cfg.Block, rec *blockRec, pt cc.Expr) bool {
+	return en.applyExtensionCtx(st, b, rec, pt, false)
+}
+
+// applyExtensionCtx is applyExtension with the synthetic-return-point
+// flavor: statement patterns like "{ return v }" match when
+// returnPoint is set.
+func (en *Engine) applyExtensionCtx(st *pathState, b *cfg.Block, rec *blockRec, pt cc.Expr, returnPoint bool) bool {
+	matched := false
+	ctx := en.matchCtx(st, b, pt, false, returnPoint)
+
+	// Global-state transitions (including creation transitions).
+	for _, tr := range en.transIdx[metal.StateRef{Val: st.sm.GState}] {
+		bnd, ok := tr.Pat.Match(ctx, pattern.Bindings{})
+		if !ok {
+			continue
+		}
+		if tr.PathSpecific {
+			creationVar := tr.TrueDest.Var
+			if creationVar == "" {
+				creationVar = tr.FalseDest.Var
+			}
+			if creationVar != "" {
+				if obj, ok := bnd[creationVar]; !ok || obj.Expr == nil || st.sm.Find(creationVar, cc.ExprKey(obj.Expr)) != nil {
+					continue
+				}
+			}
+			matched = true
+			st.pending = append(st.pending, pendingBranch{
+				tr: tr, bindings: bnd, neg: polarityOf(b, pt),
+			})
+			en.runTransitionActions(st, tr, bnd, pt, nil)
+			break
+		}
+		if tr.Dest.Var != "" {
+			// Creation transition: applies only when the object has
+			// no live instance ("the edge only applies when we know
+			// nothing about t", §5.2).
+			objBnd, ok := bnd[tr.Dest.Var]
+			if !ok || objBnd.Expr == nil {
+				continue
+			}
+			obj := cc.ExprKey(objBnd.Expr)
+			if st.sm.Find(tr.Dest.Var, obj) != nil {
+				continue
+			}
+			matched = true
+			var created *Instance
+			if !tr.Dest.IsStop() {
+				created = en.createInstance(st, rec, tr.Dest.Var, tr.Dest.Val, objBnd.Expr, pt, bnd)
+			}
+			// Actions on a creation transition see the new instance
+			// (so note()/incr() initialize its trace and data).
+			en.runTransitionActions(st, tr, bnd, pt, created)
+			break
+		}
+		// Pure global-state transition.
+		matched = true
+		st.sm.GState = tr.Dest.Val
+		en.runTransitionActions(st, tr, bnd, pt, nil)
+		break
+	}
+
+	// Variable-specific transitions.
+	snapshot := append([]*Instance(nil), st.sm.Active...)
+	for _, inst := range snapshot {
+		if inst.Inactive || inst.CreatedAt == pt {
+			continue
+		}
+		if !en.stillActive(st, inst) {
+			continue
+		}
+		for _, tr := range en.transIdx[metal.StateRef{Var: inst.Var, Val: inst.Val}] {
+			prior := pattern.Bindings{inst.Var: pattern.Binding{Expr: inst.ObjExpr}}
+			bnd, ok := tr.Pat.Match(ctx, prior)
+			if !ok {
+				continue
+			}
+			matched = true
+			if tr.PathSpecific {
+				st.pending = append(st.pending, pendingBranch{
+					tr: tr, instKey: instKey(inst.Var, inst.Obj),
+					bindings: bnd, neg: polarityOf(b, pt),
+				})
+				en.runTransitionActions(st, tr, bnd, pt, inst)
+				break
+			}
+			en.runTransitionActions(st, tr, bnd, pt, inst)
+			if tr.Dest.IsStop() {
+				// Synonym mirroring on stop follows the paper's own
+				// trace: an error transition stops only the triggering
+				// instance (Figure 2 step 9 stops q but leaves its
+				// synonym p active at step 12), while a verification
+				// transition stops the whole group (§8: "a successful
+				// check that p is not null also implies that q is not
+				// null").
+				en.killInstance(st, rec, inst, !transitionReports(tr))
+			} else {
+				oldVal := inst.Val
+				for _, m := range st.sm.GroupMembers(inst) {
+					if m.Val == oldVal {
+						m.Val = tr.Dest.Val
+						m.Trace = append(m.Trace, fmt.Sprintf("%s: %s -> %s at %s",
+							posOf(pt), oldVal, tr.Dest.Val, cc.ExprString(pt)))
+					}
+				}
+			}
+			break
+		}
+		if st.killPath {
+			return matched
+		}
+	}
+	return matched
+}
+
+func (en *Engine) stillActive(st *pathState, inst *Instance) bool {
+	for _, in := range st.sm.Active {
+		if in == inst {
+			return true
+		}
+	}
+	return false
+}
+
+// transitionReports reports whether the transition's actions emit an
+// error report.
+func transitionReports(tr *metal.Transition) bool {
+	for _, a := range tr.Actions {
+		if a.Fn == "err" || a.Fn == "check_data" {
+			return true
+		}
+	}
+	return false
+}
+
+// runTransitionActions executes a transition's actions with a fresh
+// action context.
+func (en *Engine) runTransitionActions(st *pathState, tr *metal.Transition, bnd pattern.Bindings, pt cc.Expr, inst *Instance) {
+	ctx := &ActionCtx{
+		Engine:   en,
+		State:    st,
+		Point:    pt,
+		Pos:      posOf(pt),
+		Bindings: bnd,
+		Inst:     inst,
+	}
+	en.runActions(ctx, tr.Actions)
+}
+
+func posOf(pt cc.Expr) cc.Pos {
+	if pt == nil {
+		return cc.Pos{}
+	}
+	return pt.Pos()
+}
+
+// polarityOf computes whether the matched point sits under a negation
+// within the block's branch condition, so path-specific destinations
+// follow source-level truth ("if (!trylock(l))" swaps the branches).
+func polarityOf(b *cfg.Block, pt cc.Expr) bool {
+	if b == nil || b.Cond == nil {
+		return false
+	}
+	neg, found := findPolarity(b.Cond, pt, false)
+	if !found {
+		return false
+	}
+	return neg
+}
+
+func findPolarity(e cc.Expr, target cc.Expr, neg bool) (bool, bool) {
+	if e == target {
+		return neg, true
+	}
+	switch e := e.(type) {
+	case *cc.UnaryExpr:
+		if e.Op == cc.TokNot {
+			return findPolarity(e.X, target, !neg)
+		}
+		return findPolarity(e.X, target, neg)
+	case *cc.BinaryExpr:
+		// x == 0 flips polarity; x != 0 preserves it.
+		flip := false
+		if lit, ok := e.Y.(*cc.IntLit); ok && lit.Value == 0 {
+			if e.Op == cc.TokEq {
+				flip = true
+			}
+		}
+		if n, found := findPolarity(e.X, target, neg != flip); found {
+			return n, true
+		}
+		return findPolarity(e.Y, target, neg)
+	case *cc.AssignExpr:
+		return findPolarity(e.RHS, target, neg)
+	case *cc.CallExpr:
+		for _, a := range e.Args {
+			if n, found := findPolarity(a, target, neg); found {
+				return n, true
+			}
+		}
+		return findPolarity(e.Fun, target, neg)
+	case *cc.CondExpr:
+		if n, found := findPolarity(e.Cond, target, neg); found {
+			return n, true
+		}
+		if n, found := findPolarity(e.Then, target, neg); found {
+			return n, true
+		}
+		return findPolarity(e.Else, target, neg)
+	}
+	return false, false
+}
+
+// ---------------------------------------------------------------------------
+// Instance lifecycle
+// ---------------------------------------------------------------------------
+
+// createInstance attaches a new state to a program object, spawning a
+// new state machine (§2.1).
+func (en *Engine) createInstance(st *pathState, rec *blockRec, varName, val string, objExpr cc.Expr, pt cc.Expr, bnd pattern.Bindings) *Instance {
+	obj := cc.ExprKey(objExpr)
+	inst := &Instance{
+		Var:       varName,
+		Obj:       obj,
+		ObjExpr:   objExpr,
+		Val:       val,
+		CreatedAt: pt,
+		StartPos:  posOf(pt),
+		StartFunc: st.fn.Name,
+		CallDepth: st.callDepth,
+	}
+	if pt != nil {
+		inst.Trace = append(inst.Trace, fmt.Sprintf("%s: %s enters state %s at %s",
+			posOf(pt), obj, val, cc.ExprString(pt)))
+	}
+	en.classifyScope(st, inst)
+	st.sm.Active = append(st.sm.Active, inst)
+	return inst
+}
+
+// classifyScope records whether the tracked object is a global, a
+// file-scope static, or local-mentioning (§6.1 scoping rules).
+func (en *Engine) classifyScope(st *pathState, inst *Instance) {
+	if mentionsLocals(inst.ObjExpr, st.fn) {
+		return
+	}
+	root := rootIdent(inst.ObjExpr)
+	if root == "" {
+		return
+	}
+	if file, ok := en.Prog.Statics[root]; ok {
+		inst.Static = true
+		inst.HomeFile = file
+		return
+	}
+	if en.Prog.GlobalNames[root] {
+		inst.GlobalObj = true
+	}
+}
+
+// rootIdent returns the base identifier of an lvalue-ish expression.
+func rootIdent(e cc.Expr) string {
+	switch e := e.(type) {
+	case *cc.Ident:
+		return e.Name
+	case *cc.UnaryExpr:
+		return rootIdent(e.X)
+	case *cc.FieldExpr:
+		return rootIdent(e.X)
+	case *cc.IndexExpr:
+		return rootIdent(e.X)
+	case *cc.CastExpr:
+		return rootIdent(e.X)
+	}
+	return ""
+}
+
+// killInstance transitions an instance to stop, deleting its state
+// machine (§2.1). With mirror set, synonym group members follow
+// ("state changes in one are mirrored in the other", §8).
+func (en *Engine) killInstance(st *pathState, rec *blockRec, inst *Instance, mirror bool) {
+	victims := []*Instance{inst}
+	if mirror && inst.Group != 0 {
+		victims = st.sm.GroupMembers(inst)
+	}
+	for _, v := range victims {
+		if rec != nil {
+			rec.noteKill(st.sm.GState, v)
+		}
+		st.sm.Remove(v)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Assignments: value tracking, synonyms, kills (§8)
+// ---------------------------------------------------------------------------
+
+func (en *Engine) handleAssign(st *pathState, rec *blockRec, asg *cc.AssignExpr, pt cc.Expr) {
+	if en.Opts.FPP && st.env != nil && asg.Op == cc.TokAssign {
+		st.env.Assign(asg.LHS, asg.RHS)
+	}
+	if asg.Op != cc.TokAssign {
+		// Compound assignment redefines the LHS without copying state.
+		en.handleMutation(st, rec, asg.LHS)
+		return
+	}
+	lhsKey := cc.ExprKey(asg.LHS)
+	rhsKey := cc.ExprKey(asg.RHS)
+	if lhsKey == rhsKey {
+		return
+	}
+	// Synonyms: "If a variable tracked by an extension is assigned to
+	// another variable, both variables become synonyms." Chained
+	// assignments (p = q = kmalloc(...)) look through to the inner
+	// LHS, which carries the value — the paper's §8 example.
+	srcExpr := asg.RHS
+	for {
+		inner, ok := srcExpr.(*cc.AssignExpr)
+		if !ok || inner.Op != cc.TokAssign {
+			break
+		}
+		srcExpr = inner.LHS
+	}
+	srcKey := cc.ExprKey(srcExpr)
+	var newInst *Instance
+	if en.Opts.Synonyms {
+		if src := st.sm.FindObj(srcKey); src != nil && !src.Inactive {
+			if src.Group == 0 {
+				en.nextGroup++
+				src.Group = en.nextGroup
+			}
+			newInst = src.clone()
+			newInst.Obj = lhsKey
+			newInst.ObjExpr = asg.LHS
+			newInst.SynDepth = src.SynDepth + 1
+			newInst.CreatedAt = pt
+			newInst.Trace = append(newInst.Trace, fmt.Sprintf("%s: %s becomes a synonym of %s",
+				posOf(pt), lhsKey, srcKey))
+			en.classifyScope(st, newInst)
+		}
+	}
+	// Kill on redefinition: delete state attached to the assigned
+	// variable and to any expression that uses it.
+	if en.Opts.Kills {
+		en.killMentions(st, rec, asg.LHS, newInst, pt)
+	}
+	if newInst != nil {
+		if old := st.sm.Find(newInst.Var, lhsKey); old != nil {
+			en.killInstance(st, rec, old, false)
+		}
+		st.sm.Active = append(st.sm.Active, newInst)
+	}
+}
+
+// handleMutation kills state invalidated by ++/--/compound updates.
+func (en *Engine) handleMutation(st *pathState, rec *blockRec, lval cc.Expr) {
+	if en.Opts.FPP && st.env != nil {
+		if id, ok := lval.(*cc.Ident); ok {
+			st.env.Havoc(id.Name)
+		}
+	}
+	if en.Opts.Kills {
+		en.killMentions(st, rec, lval, nil, nil)
+	}
+}
+
+// killMentions removes instances whose tracked object's VALUE is or
+// depends on the redefined lvalue: "an expression (e.g., a[i]) with
+// attached state is transitioned to the stop state when a component of
+// that expression (e.g., i) is redefined" (§8). An object of the form
+// &x does not depend on x's value — writing x does not move its
+// address — so lock state attached to &mutex survives mutex = 0.
+func (en *Engine) killMentions(st *pathState, rec *blockRec, lval cc.Expr, spare *Instance, pt cc.Expr) {
+	id, isIdent := lval.(*cc.Ident)
+	snapshot := append([]*Instance(nil), st.sm.Active...)
+	for _, in := range snapshot {
+		if in == spare {
+			continue
+		}
+		// An instance created at this very point (e.g. by the pattern
+		// "{ v = kmalloc(args) }") is not killed by its own defining
+		// assignment.
+		if pt != nil && in.CreatedAt == pt {
+			continue
+		}
+		dead := false
+		if isIdent {
+			dead = valueDependsOn(in.ObjExpr, id.Name)
+		} else {
+			dead = cc.SubExprOf(lval, in.ObjExpr)
+		}
+		if dead && en.stillActive(st, in) {
+			en.killInstance(st, rec, in, false)
+		}
+	}
+}
+
+// valueDependsOn reports whether e's value depends on the named
+// variable's value. Occurrences directly under address-of (&name) are
+// excluded: the address is storage identity, not content.
+func valueDependsOn(e cc.Expr, name string) bool {
+	switch e := e.(type) {
+	case nil:
+		return false
+	case *cc.Ident:
+		return e.Name == name
+	case *cc.UnaryExpr:
+		if e.Op == cc.TokAmp && !e.Postfix {
+			if id, ok := e.X.(*cc.Ident); ok && id.Name == name {
+				return false
+			}
+		}
+		return valueDependsOn(e.X, name)
+	case *cc.BinaryExpr:
+		return valueDependsOn(e.X, name) || valueDependsOn(e.Y, name)
+	case *cc.IndexExpr:
+		return valueDependsOn(e.X, name) || valueDependsOn(e.Index, name)
+	case *cc.FieldExpr:
+		return valueDependsOn(e.X, name)
+	case *cc.CastExpr:
+		return valueDependsOn(e.X, name)
+	case *cc.CallExpr:
+		if valueDependsOn(e.Fun, name) {
+			return true
+		}
+		for _, a := range e.Args {
+			if valueDependsOn(a, name) {
+				return true
+			}
+		}
+		return false
+	default:
+		return cc.ContainsIdent(e, name)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// End of path (§3.2 $end_of_path$)
+// ---------------------------------------------------------------------------
+
+// endOfPath fires $end_of_path$ transitions at the function's exit:
+// for instances attached to the function's own (non-parameter) locals
+// always, and for everything — including global state — when the root
+// path terminates ("when either an instance ... permanently leaves
+// scope or when the program terminates").
+func (en *Engine) endOfPath(st *pathState, rec *blockRec) {
+	isRoot := st.callDepth == 0
+	params := map[string]bool{}
+	for _, p := range st.fn.Decl.Params {
+		params[p.Name] = true
+	}
+	nonParam := map[string]bool{}
+	for name := range st.fn.Graph.Locals {
+		if !params[name] {
+			nonParam[name] = true
+		}
+	}
+	ctx := en.matchCtx(st, nil, nil, true, false)
+
+	snapshot := append([]*Instance(nil), st.sm.Active...)
+	for _, inst := range snapshot {
+		if inst.Inactive || !en.stillActive(st, inst) {
+			continue
+		}
+		leavesScope := isRoot || mentionsAny(inst.ObjExpr, nonParam)
+		if !leavesScope {
+			continue
+		}
+		for _, tr := range en.transIdx[metal.StateRef{Var: inst.Var, Val: inst.Val}] {
+			prior := pattern.Bindings{inst.Var: pattern.Binding{Expr: inst.ObjExpr}}
+			bnd, ok := tr.Pat.Match(ctx, prior)
+			if !ok {
+				continue
+			}
+			en.runTransitionActions(st, tr, bnd, nil, inst)
+			if tr.PathSpecific || tr.Dest.IsStop() {
+				en.killInstance(st, rec, inst, false)
+			} else {
+				inst.Val = tr.Dest.Val
+			}
+			break
+		}
+	}
+	if isRoot {
+		for _, tr := range en.transIdx[metal.StateRef{Val: st.sm.GState}] {
+			bnd, ok := tr.Pat.Match(ctx, pattern.Bindings{})
+			if !ok {
+				continue
+			}
+			en.runTransitionActions(st, tr, bnd, nil, nil)
+			if !tr.PathSpecific && tr.Dest.Var == "" {
+				st.sm.GState = tr.Dest.Val
+			}
+			break
+		}
+	}
+}
+
+// emitReport materializes an err() action into a ranked report.
+func (en *Engine) emitReport(ctx *ActionCtx, msg string) {
+	st := ctx.State
+	r := &report.Report{
+		Checker: en.Checker.Name,
+		Msg:     msg,
+		Pos:     ctx.Pos,
+		Func:    st.fn.Name,
+		Class:   ctx.Class,
+		Rule:    ctx.Rule,
+	}
+	if r.Class == report.ClassNone {
+		r.Class = st.pathClass
+	}
+	if r.Rule == "" {
+		r.Rule = en.Checker.Name
+	}
+	if in := ctx.Inst; in != nil {
+		r.Start = in.StartPos
+		// End-of-path transitions have no program point; anchor the
+		// report where tracking began (the unreleased lock site).
+		if !r.Pos.IsValid() {
+			r.Pos = in.StartPos
+		}
+		r.Conditionals = in.Conds
+		r.SynonymDepth = in.SynDepth
+		r.Interprocedural = in.StartFunc != st.fn.Name
+		if r.Interprocedural {
+			d := st.callDepth - in.CallDepth
+			if d < 0 {
+				d = -d
+			}
+			if d == 0 {
+				d = 1
+			}
+			r.CallChain = d
+		}
+		r.Vars = identsOf(in.ObjExpr)
+		r.Trace = append(append([]string(nil), in.Trace...),
+			fmt.Sprintf("%s: %s", ctx.Pos, msg))
+	} else {
+		r.Start = ctx.Pos
+		// Global end-of-path reports carry no program point; anchor
+		// them at the function so reports from different functions
+		// stay distinct.
+		if !r.Pos.IsValid() {
+			r.Pos = st.fn.Decl.P
+			r.Start = r.Pos
+		}
+	}
+	en.Reports.Add(r)
+}
+
+// identsOf lists the identifier names mentioned by an expression.
+func identsOf(e cc.Expr) []string {
+	seen := map[string]bool{}
+	var out []string
+	cc.WalkExpr(e, func(sub cc.Expr) bool {
+		if id, ok := sub.(*cc.Ident); ok && !seen[id.Name] {
+			seen[id.Name] = true
+			out = append(out, id.Name)
+		}
+		return true
+	})
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,20 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestFingerprintCacheBounded(t *testing.T) {
+	// With FPP ON, each diamond side adds distinct facts, so the
+	// fingerprint-refined cache sees distinct keys. The per-block cap
+	// must bound the blowup: traversal stays far below the 2^16 path
+	// count.
+	pr := workload.DiamondChain(16)
+	en, _ := runChecker(t, freeChecker, map[string]string{"d.c": pr.Source}, DefaultOptions())
+	t.Logf("blocks=%d paths=%d cacheHits=%d", en.Stats.Blocks, en.Stats.Paths, en.Stats.CacheHits)
+	if en.Stats.Blocks > 30000 {
+		t.Errorf("fingerprint cache cap failed to bound traversal: %d blocks", en.Stats.Blocks)
+	}
+}

@@ -1,0 +1,215 @@
+// Package core implements the xgcc analysis engine: metal extensions
+// executed by a context-sensitive, interprocedural, caching
+// depth-first traversal of the program supergraph (§5-§6 of the
+// paper), with the false-positive suppression machinery of §8
+// (kill-on-redefinition, synonyms, false path pruning) built in.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cc"
+)
+
+// UnknownVal is the distinguished value used in the start tuple of add
+// edges: "(s, v:t→unknown)" means nothing is known about t at block
+// entry (§5.2).
+const UnknownVal = "unknown"
+
+// Instance is one variable-specific state-variable instance: a state
+// value attached to a program object, plus the extension-defined data
+// value and the provenance the ranking criteria need (§3.1, §5.1).
+type Instance struct {
+	Var     string
+	Obj     string // canonical expression key
+	ObjExpr cc.Expr
+	Val     string
+	// Data is the extension-manipulable data value (the paper allows
+	// an arbitrary C struct; we provide an integer, which the action
+	// library manipulates). Data participates in tuple identity so
+	// caching stays sound under determinism.
+	Data int64
+
+	// Group links synonym instances (§8): instances in the same
+	// nonzero group mirror state changes.
+	Group int
+	// SynDepth is the length of the assignment chain that created
+	// this instance (§9 ranking criterion 3).
+	SynDepth int
+
+	// CreatedAt is the program point that created the instance; an
+	// instance cannot trigger a transition at that point (§3.1).
+	CreatedAt cc.Expr
+
+	// Provenance for ranking and error reporting.
+	StartPos  cc.Pos
+	StartFunc string
+	Conds     int
+	CallDepth int
+	Trace     []string
+
+	// Scope classification of the object.
+	GlobalObj bool
+	Static    bool
+	HomeFile  string
+	// Inactive marks file-scope instances temporarily out of scope
+	// while the analysis is in another file (§6.1).
+	Inactive bool
+}
+
+// clone deep-copies an instance.
+func (in *Instance) clone() *Instance {
+	cp := *in
+	cp.Trace = append([]string(nil), in.Trace...)
+	return &cp
+}
+
+// TupleVal renders the value component including the data value when
+// set, e.g. "freed" or "locked/2".
+func (in *Instance) TupleVal() string {
+	if in.Data != 0 {
+		return fmt.Sprintf("%s/%d", in.Val, in.Data)
+	}
+	return in.Val
+}
+
+// Tuple is one state tuple (§5.2): the global instance value plus one
+// variable-specific instance (or the <> placeholder when Obj is "").
+type Tuple struct {
+	G    string
+	Var  string
+	Obj  string
+	Val  string // state value, possibly with "/data" suffix; UnknownVal in add-edge starts
+	Data int64
+	// ObjExpr and Prov carry reconstruction material for applying
+	// summary edges at call boundaries; they do not participate in
+	// identity.
+	ObjExpr cc.Expr
+	Prov    *Instance
+}
+
+// IsPlaceholder reports whether this is a "(g, <>)" tuple.
+func (t Tuple) IsPlaceholder() bool { return t.Obj == "" }
+
+// Key is the canonical identity string, e.g.
+// "(start,v:p->freed)" or "(start,<>)".
+func (t Tuple) Key() string {
+	if t.IsPlaceholder() {
+		return "(" + t.G + ",<>)"
+	}
+	val := t.Val
+	if t.Data != 0 {
+		val = fmt.Sprintf("%s/%d", val, t.Data)
+	}
+	return fmt.Sprintf("(%s,%s:%s->%s)", t.G, t.Var, t.Obj, val)
+}
+
+// String renders the tuple in the paper's notation.
+func (t Tuple) String() string { return t.Key() }
+
+// placeholderTuple builds the (g,<>) tuple.
+func placeholderTuple(g string) Tuple { return Tuple{G: g} }
+
+// instTuple builds the tuple for an instance under global state g.
+func instTuple(g string, in *Instance) Tuple {
+	return Tuple{
+		G: g, Var: in.Var, Obj: in.Obj, Val: in.Val, Data: in.Data,
+		ObjExpr: in.ObjExpr, Prov: in,
+	}
+}
+
+// unknownTuple builds the add-edge start tuple (g, v:obj->unknown).
+func unknownTuple(g, varName, obj string) Tuple {
+	return Tuple{G: g, Var: varName, Obj: obj, Val: UnknownVal}
+}
+
+// SM is the extension's state: one global state value and the active
+// variable-specific instances (§5.1's sm_instance). The <> placeholder
+// is implicit: Tuples() materializes it when Active is empty.
+type SM struct {
+	GState string
+	Active []*Instance
+}
+
+// clone deep-copies the SM for a path split; modifications on one path
+// revert when the DFS backtracks (§5.1).
+func (s *SM) clone() *SM {
+	out := &SM{GState: s.GState, Active: make([]*Instance, len(s.Active))}
+	for i, in := range s.Active {
+		out.Active[i] = in.clone()
+	}
+	return out
+}
+
+// Tuples returns the extension state as a set of state tuples (§5.2).
+// Inactive (out-of-file) instances are excluded from cache identity
+// exactly as they are excluded from the analysis.
+func (s *SM) Tuples() []Tuple {
+	var out []Tuple
+	for _, in := range s.Active {
+		if in.Inactive {
+			continue
+		}
+		out = append(out, instTuple(s.GState, in))
+	}
+	if len(out) == 0 {
+		return []Tuple{placeholderTuple(s.GState)}
+	}
+	return out
+}
+
+// Find returns the active instance attached to the given object for
+// the given state variable, or nil.
+func (s *SM) Find(varName, obj string) *Instance {
+	for _, in := range s.Active {
+		if in.Var == varName && in.Obj == obj {
+			return in
+		}
+	}
+	return nil
+}
+
+// FindObj returns any active instance attached to the object.
+func (s *SM) FindObj(obj string) *Instance {
+	for _, in := range s.Active {
+		if in.Obj == obj {
+			return in
+		}
+	}
+	return nil
+}
+
+// Remove deletes the instance (by pointer identity).
+func (s *SM) Remove(in *Instance) {
+	for i, x := range s.Active {
+		if x == in {
+			s.Active = append(s.Active[:i], s.Active[i+1:]...)
+			return
+		}
+	}
+}
+
+// GroupMembers returns the instances sharing in's synonym group
+// (including in itself); a zero group is just {in}.
+func (s *SM) GroupMembers(in *Instance) []*Instance {
+	if in.Group == 0 {
+		return []*Instance{in}
+	}
+	var out []*Instance
+	for _, x := range s.Active {
+		if x.Group == in.Group {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// String renders the SM state for diagnostics.
+func (s *SM) String() string {
+	var parts []string
+	for _, t := range s.Tuples() {
+		parts = append(parts, t.Key())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

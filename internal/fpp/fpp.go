@@ -1,0 +1,539 @@
+// Package fpp implements xgcc's simple path-sensitive analysis for
+// pruning non-executable paths (§8 "False path pruning"): basic value
+// tracking combined with a congruence-closure algorithm. The algorithm
+// deliberately does not track values "too precisely" — most paths are
+// executable and most data dependencies are simple.
+package fpp
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/cc"
+)
+
+// Verdict is the result of evaluating a branch condition.
+type Verdict int
+
+// Branch evaluation outcomes.
+const (
+	Unknown Verdict = iota
+	MustTrue
+	MustFalse
+)
+
+// Env is the per-path fact environment. Each path through the CFG
+// carries its own copy; Clone is cheap-ish (maps copied on demand at
+// split points by the engine).
+type Env struct {
+	// versions renames variables on assignment (§8 step 1: "For each
+	// assignment to a variable, we assign a new name to that variable
+	// so that different definitions of the variable are not
+	// confused").
+	versions     map[string]int
+	uf           *unionFind
+	contradicted bool
+	// fp caches Fingerprint(); mutations invalidate it.
+	fp      string
+	fpValid bool
+}
+
+// NewEnv returns an empty fact environment.
+func NewEnv() *Env {
+	return &Env{versions: map[string]int{}, uf: newUnionFind()}
+}
+
+// Clone deep-copies the environment.
+func (e *Env) Clone() *Env {
+	out := &Env{
+		versions:     make(map[string]int, len(e.versions)),
+		uf:           e.uf.clone(),
+		contradicted: e.contradicted,
+		fp:           e.fp,
+		fpValid:      e.fpValid,
+	}
+	for k, v := range e.versions {
+		out.versions[k] = v
+	}
+	return out
+}
+
+// Contradicted reports whether the path's facts became inconsistent
+// (the path is infeasible).
+func (e *Env) Contradicted() bool { return e.contradicted }
+
+// term renders an expression with version-subscripted variable names,
+// or "" if the expression is too complex to name stably.
+func (e *Env) term(x cc.Expr) string {
+	switch x := x.(type) {
+	case *cc.Ident:
+		return fmt.Sprintf("%s#%d", x.Name, e.versions[x.Name])
+	case *cc.IntLit:
+		return constTerm(x.Value)
+	case *cc.CharLit:
+		if v, ok := cc.ConstEval(x); ok {
+			return constTerm(v)
+		}
+		return ""
+	case *cc.UnaryExpr:
+		if x.Op == cc.TokMinus {
+			if v, ok := e.constOf(x.X); ok {
+				return constTerm(-v)
+			}
+		}
+		inner := e.term(x.X)
+		if inner == "" {
+			return ""
+		}
+		return x.Op.String() + "(" + inner + ")"
+	case *cc.BinaryExpr:
+		// Try full constant folding through known values first.
+		if v, ok := e.eval(x); ok {
+			return constTerm(v)
+		}
+		l, r := e.term(x.X), e.term(x.Y)
+		if l == "" || r == "" {
+			return ""
+		}
+		return "(" + l + x.Op.String() + r + ")"
+	case *cc.FieldExpr:
+		inner := e.term(x.X)
+		if inner == "" {
+			return ""
+		}
+		sep := "."
+		if x.Arrow {
+			sep = "->"
+		}
+		return inner + sep + x.Name
+	case *cc.IndexExpr:
+		b, i := e.term(x.X), e.term(x.Index)
+		if b == "" || i == "" {
+			return ""
+		}
+		return b + "[" + i + "]"
+	case *cc.CastExpr:
+		return e.term(x.X)
+	}
+	return ""
+}
+
+func constTerm(v int64) string { return "$" + strconv.FormatInt(v, 10) }
+
+// constOf resolves an expression to a known constant through the
+// equivalence classes.
+func (e *Env) constOf(x cc.Expr) (int64, bool) {
+	if v, ok := cc.ConstEval(x); ok {
+		return v, true
+	}
+	t := e.term(x)
+	if t == "" {
+		return 0, false
+	}
+	return e.uf.constOf(t)
+}
+
+// eval tries to evaluate an expression using tracked values (§8 step
+// 2: "If we know that x is 10, then we will assign y the value 11").
+func (e *Env) eval(x cc.Expr) (int64, bool) {
+	switch x := x.(type) {
+	case *cc.IntLit:
+		return x.Value, true
+	case *cc.CharLit:
+		return cc.ConstEval(x)
+	case *cc.Ident:
+		return e.uf.constOf(e.term(x))
+	case *cc.UnaryExpr:
+		v, ok := e.eval(x.X)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case cc.TokMinus:
+			return -v, true
+		case cc.TokPlus:
+			return v, true
+		case cc.TokNot:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		case cc.TokTilde:
+			return ^v, true
+		}
+		return 0, false
+	case *cc.BinaryExpr:
+		l, lok := e.eval(x.X)
+		r, rok := e.eval(x.Y)
+		if !lok || !rok {
+			return 0, false
+		}
+		return applyBinop(x.Op, l, r)
+	case *cc.CondExpr:
+		c, ok := e.eval(x.Cond)
+		if !ok {
+			return 0, false
+		}
+		if c != 0 {
+			return e.eval(x.Then)
+		}
+		return e.eval(x.Else)
+	case *cc.CastExpr:
+		return e.eval(x.X)
+	}
+	return 0, false
+}
+
+func applyBinop(op cc.TokKind, l, r int64) (int64, bool) {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case cc.TokPlus:
+		return l + r, true
+	case cc.TokMinus:
+		return l - r, true
+	case cc.TokStar:
+		return l * r, true
+	case cc.TokSlash:
+		if r == 0 {
+			return 0, false
+		}
+		return l / r, true
+	case cc.TokPercent:
+		if r == 0 {
+			return 0, false
+		}
+		return l % r, true
+	case cc.TokAmp:
+		return l & r, true
+	case cc.TokPipe:
+		return l | r, true
+	case cc.TokCaret:
+		return l ^ r, true
+	case cc.TokShl:
+		if r < 0 || r > 63 {
+			return 0, false
+		}
+		return l << uint(r), true
+	case cc.TokShr:
+		if r < 0 || r > 63 {
+			return 0, false
+		}
+		return l >> uint(r), true
+	case cc.TokEq:
+		return b2i(l == r), true
+	case cc.TokNe:
+		return b2i(l != r), true
+	case cc.TokLt:
+		return b2i(l < r), true
+	case cc.TokGt:
+		return b2i(l > r), true
+	case cc.TokLe:
+		return b2i(l <= r), true
+	case cc.TokGe:
+		return b2i(l >= r), true
+	case cc.TokAndAnd:
+		return b2i(l != 0 && r != 0), true
+	case cc.TokOrOr:
+		return b2i(l != 0 || r != 0), true
+	}
+	return 0, false
+}
+
+// Assign records "lhs = rhs": the left side gets a fresh version, then
+// an equality to the evaluated right side when it is trackable.
+func (e *Env) Assign(lhs, rhs cc.Expr) {
+	id, ok := lhs.(*cc.Ident)
+	if !ok {
+		// Assignments through *p, a[i], s->f: havoc nothing (the
+		// object named is not version-tracked), stay conservative.
+		return
+	}
+	// Evaluate the RHS in the *old* environment before renaming.
+	rhsTerm := ""
+	if v, ok := e.eval(rhs); ok {
+		rhsTerm = constTerm(v)
+	} else {
+		rhsTerm = e.term(rhs)
+	}
+	e.versions[id.Name]++
+	e.fpValid = false
+	if rhsTerm != "" {
+		e.uf.union(e.term(id), rhsTerm)
+	}
+}
+
+// Havoc invalidates a variable (used for loop bodies, §8 step 3, and
+// address-taken escapes).
+func (e *Env) Havoc(name string) {
+	e.versions[name]++
+	e.fpValid = false
+}
+
+// HavocAssigned havocs every variable assigned anywhere in the
+// statement (loop bodies): "we set the value of all variables defined
+// in the loop to unknown after the loop body".
+func (e *Env) HavocAssigned(stmts ...cc.Stmt) {
+	for _, s := range stmts {
+		havocStmt(e, s)
+	}
+}
+
+func havocStmt(e *Env, s cc.Stmt) {
+	switch s := s.(type) {
+	case *cc.ExprStmt:
+		havocExpr(e, s.X)
+	case *cc.DeclStmt:
+		for _, d := range s.Decls {
+			e.Havoc(d.Name)
+		}
+	case *cc.CompoundStmt:
+		for _, c := range s.List {
+			havocStmt(e, c)
+		}
+	case *cc.IfStmt:
+		havocExpr(e, s.Cond)
+		havocStmt(e, s.Then)
+		if s.Else != nil {
+			havocStmt(e, s.Else)
+		}
+	case *cc.WhileStmt:
+		havocExpr(e, s.Cond)
+		havocStmt(e, s.Body)
+	case *cc.DoWhileStmt:
+		havocStmt(e, s.Body)
+		havocExpr(e, s.Cond)
+	case *cc.ForStmt:
+		if s.Init != nil {
+			havocStmt(e, s.Init)
+		}
+		if s.Cond != nil {
+			havocExpr(e, s.Cond)
+		}
+		if s.Post != nil {
+			havocExpr(e, s.Post)
+		}
+		havocStmt(e, s.Body)
+	case *cc.SwitchStmt:
+		havocExpr(e, s.Tag)
+		havocStmt(e, s.Body)
+	case *cc.CaseStmt:
+		havocStmt(e, s.Body)
+	case *cc.ReturnStmt:
+		if s.X != nil {
+			havocExpr(e, s.X)
+		}
+	case *cc.LabeledStmt:
+		havocStmt(e, s.Body)
+	}
+}
+
+func havocExpr(e *Env, x cc.Expr) {
+	cc.WalkExpr(x, func(sub cc.Expr) bool {
+		switch sub := sub.(type) {
+		case *cc.AssignExpr:
+			if id, ok := sub.LHS.(*cc.Ident); ok {
+				e.Havoc(id.Name)
+			}
+		case *cc.UnaryExpr:
+			if sub.Op == cc.TokInc || sub.Op == cc.TokDec {
+				if id, ok := sub.X.(*cc.Ident); ok {
+					e.Havoc(id.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// EvalCond evaluates a branch condition against the facts (§8 step 5).
+func (e *Env) EvalCond(cond cc.Expr) Verdict {
+	if v, ok := e.eval(cond); ok {
+		if v != 0 {
+			return MustTrue
+		}
+		return MustFalse
+	}
+	return e.evalRelation(cond)
+}
+
+// evalRelation consults equivalence classes and orderings for
+// comparison conditions that constant evaluation couldn't settle.
+func (e *Env) evalRelation(cond cc.Expr) Verdict {
+	switch cond := cond.(type) {
+	case *cc.UnaryExpr:
+		if cond.Op == cc.TokNot {
+			switch e.EvalCond(cond.X) {
+			case MustTrue:
+				return MustFalse
+			case MustFalse:
+				return MustTrue
+			}
+			return Unknown
+		}
+	case *cc.BinaryExpr:
+		switch cond.Op {
+		case cc.TokAndAnd:
+			l, r := e.EvalCond(cond.X), e.EvalCond(cond.Y)
+			if l == MustFalse || r == MustFalse {
+				return MustFalse
+			}
+			if l == MustTrue && r == MustTrue {
+				return MustTrue
+			}
+			return Unknown
+		case cc.TokOrOr:
+			l, r := e.EvalCond(cond.X), e.EvalCond(cond.Y)
+			if l == MustTrue || r == MustTrue {
+				return MustTrue
+			}
+			if l == MustFalse && r == MustFalse {
+				return MustFalse
+			}
+			return Unknown
+		case cc.TokEq, cc.TokNe, cc.TokLt, cc.TokGt, cc.TokLe, cc.TokGe:
+			lt, rt := e.term(cond.X), e.term(cond.Y)
+			if lt == "" || rt == "" {
+				return Unknown
+			}
+			return e.uf.relate(cond.Op, lt, rt)
+		}
+	case *cc.Ident, *cc.FieldExpr, *cc.IndexExpr:
+		// Bare truth test: x is true iff x != 0.
+		t := e.term(cond)
+		if t == "" {
+			return Unknown
+		}
+		return e.uf.relate(cc.TokNe, t, constTerm(0))
+	}
+	return Unknown
+}
+
+// AssumeCond asserts that cond evaluated to the given truth value on
+// this path (§8 step 1: "If we see the statement (x < y), we record
+// that x < y holds along the true branch and x >= y holds along the
+// false branch"). Contradictions mark the environment infeasible.
+func (e *Env) AssumeCond(cond cc.Expr, truth bool) {
+	switch cond := cond.(type) {
+	case *cc.UnaryExpr:
+		if cond.Op == cc.TokNot {
+			e.AssumeCond(cond.X, !truth)
+			return
+		}
+	case *cc.BinaryExpr:
+		switch cond.Op {
+		case cc.TokAndAnd:
+			if truth {
+				e.AssumeCond(cond.X, true)
+				e.AssumeCond(cond.Y, true)
+			}
+			// !(a && b) is a disjunction; nothing definite.
+			return
+		case cc.TokOrOr:
+			if !truth {
+				e.AssumeCond(cond.X, false)
+				e.AssumeCond(cond.Y, false)
+			}
+			return
+		case cc.TokEq, cc.TokNe, cc.TokLt, cc.TokGt, cc.TokLe, cc.TokGe:
+			op := cond.Op
+			if !truth {
+				op = negateRel(op)
+			}
+			lt, rt := e.term(cond.X), e.term(cond.Y)
+			if lt == "" || rt == "" {
+				return
+			}
+			e.fpValid = false
+			if !e.uf.assert(op, lt, rt) {
+				e.contradicted = true
+			}
+			return
+		case cc.TokPlus, cc.TokMinus, cc.TokStar, cc.TokSlash, cc.TokPercent,
+			cc.TokAmp, cc.TokPipe, cc.TokCaret, cc.TokShl, cc.TokShr:
+			// Arithmetic condition: truth says != 0 (weak).
+			e.assumeTruthy(cond, truth)
+			return
+		}
+	case *cc.AssignExpr:
+		// if ((x = f())) — record the assignment, then the truth of x.
+		e.Assign(cond.LHS, cond.RHS)
+		e.assumeTruthy(cond.LHS, truth)
+		return
+	}
+	e.assumeTruthy(cond, truth)
+}
+
+// assumeTruthy records expr != 0 (truth) or expr == 0 (!truth).
+func (e *Env) assumeTruthy(x cc.Expr, truth bool) {
+	e.fpValid = false
+	t := e.term(x)
+	if t == "" {
+		return
+	}
+	op := cc.TokNe
+	if !truth {
+		op = cc.TokEq
+	}
+	if !e.uf.assert(op, t, constTerm(0)) {
+		e.contradicted = true
+	}
+}
+
+func negateRel(op cc.TokKind) cc.TokKind {
+	switch op {
+	case cc.TokEq:
+		return cc.TokNe
+	case cc.TokNe:
+		return cc.TokEq
+	case cc.TokLt:
+		return cc.TokGe
+	case cc.TokGe:
+		return cc.TokLt
+	case cc.TokGt:
+		return cc.TokLe
+	case cc.TokLe:
+		return cc.TokGt
+	}
+	return op
+}
+
+// AssumeCase asserts tag == val (switch dispatch).
+func (e *Env) AssumeCase(tag cc.Expr, val int64) {
+	t := e.term(tag)
+	if t == "" {
+		return
+	}
+	e.fpValid = false
+	if !e.uf.assert(cc.TokEq, t, constTerm(val)) {
+		e.contradicted = true
+	}
+}
+
+// AssumeNotCase asserts tag != val (the default edge given the listed
+// cases).
+func (e *Env) AssumeNotCase(tag cc.Expr, val int64) {
+	t := e.term(tag)
+	if t == "" {
+		return
+	}
+	e.fpValid = false
+	if !e.uf.assert(cc.TokNe, t, constTerm(val)) {
+		e.contradicted = true
+	}
+}
+
+// Fingerprint summarizes the environment for cache keying; equal
+// environments produce equal fingerprints. The result is cached until
+// the next mutation.
+func (e *Env) Fingerprint() string {
+	if !e.fpValid {
+		e.fp = e.uf.fingerprint(e.versions)
+		e.fpValid = true
+	}
+	return e.fp
+}

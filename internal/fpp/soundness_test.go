@@ -1,0 +1,155 @@
+package fpp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// This file checks FPP's one real obligation: a MustTrue/MustFalse
+// verdict must agree with concrete execution. (Unknown is always
+// allowed — the analysis is deliberately imprecise, §8.)
+//
+// We generate random straight-line programs over a small variable set,
+// run them concretely, and mirror every step into an Env. At each
+// conditional we compare EvalCond's verdict with the concrete truth
+// value.
+
+type concreteState map[string]int64
+
+// step is one random program statement.
+type step struct {
+	kind string // "assign-const", "assign-var", "assign-expr", "cond"
+	lhs  string
+	rhs  string
+	k    int64
+	op   string
+}
+
+var varNames = []string{"a", "b", "c", "d"}
+var relOps = []string{"==", "!=", "<", ">", "<=", ">="}
+
+func genSteps(rng *rand.Rand, n int) []step {
+	var out []step
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			out = append(out, step{kind: "assign-const",
+				lhs: varNames[rng.Intn(len(varNames))], k: int64(rng.Intn(7))})
+		case 1:
+			out = append(out, step{kind: "assign-var",
+				lhs: varNames[rng.Intn(len(varNames))],
+				rhs: varNames[rng.Intn(len(varNames))]})
+		case 2:
+			out = append(out, step{kind: "assign-expr",
+				lhs: varNames[rng.Intn(len(varNames))],
+				rhs: varNames[rng.Intn(len(varNames))],
+				k:   int64(rng.Intn(5) + 1)})
+		default:
+			out = append(out, step{kind: "cond",
+				lhs: varNames[rng.Intn(len(varNames))],
+				rhs: varNames[rng.Intn(len(varNames))],
+				op:  relOps[rng.Intn(len(relOps))]})
+		}
+	}
+	return out
+}
+
+func concreteRel(op string, l, r int64) bool {
+	switch op {
+	case "==":
+		return l == r
+	case "!=":
+		return l != r
+	case "<":
+		return l < r
+	case ">":
+		return l > r
+	case "<=":
+		return l <= r
+	case ">=":
+		return l >= r
+	}
+	return false
+}
+
+func TestFPPVerdictSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 300; trial++ {
+		steps := genSteps(rng, 12)
+		conc := concreteState{}
+		for _, v := range varNames {
+			conc[v] = int64(rng.Intn(5)) // concrete initial values
+		}
+		env := NewEnv() // the analysis knows nothing initially
+
+		for si, s := range steps {
+			switch s.kind {
+			case "assign-const":
+				conc[s.lhs] = s.k
+				env.Assign(expr(t, s.lhs), expr(t, fmt.Sprintf("%d", s.k)))
+			case "assign-var":
+				conc[s.lhs] = conc[s.rhs]
+				env.Assign(expr(t, s.lhs), expr(t, s.rhs))
+			case "assign-expr":
+				conc[s.lhs] = conc[s.rhs] + s.k
+				env.Assign(expr(t, s.lhs), expr(t, fmt.Sprintf("%s + %d", s.rhs, s.k)))
+			case "cond":
+				condSrc := fmt.Sprintf("%s %s %s", s.lhs, s.op, s.rhs)
+				cond := expr(t, condSrc)
+				truth := concreteRel(s.op, conc[s.lhs], conc[s.rhs])
+				switch env.EvalCond(cond) {
+				case MustTrue:
+					if !truth {
+						t.Fatalf("trial %d step %d: %s is concretely false but FPP says MustTrue\nsteps: %+v",
+							trial, si, condSrc, steps[:si+1])
+					}
+				case MustFalse:
+					if truth {
+						t.Fatalf("trial %d step %d: %s is concretely true but FPP says MustFalse\nsteps: %+v",
+							trial, si, condSrc, steps[:si+1])
+					}
+				}
+				// The analysis follows the concrete branch, learning
+				// its facts — this must never contradict.
+				env.AssumeCond(cond, truth)
+				if env.Contradicted() {
+					t.Fatalf("trial %d step %d: consistent concrete path marked contradictory (%s=%v)\nsteps: %+v",
+						trial, si, condSrc, truth, steps[:si+1])
+				}
+			}
+		}
+	}
+}
+
+// The verdict must also be complete enough to prune the paper's
+// motivating shape reliably: after any sequence of assignments that
+// leaves x known, both branch orders of if(x)/if(!x) resolve.
+func TestFPPKnownValueAlwaysResolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		env := NewEnv()
+		val := int64(rng.Intn(3))
+		env.Assign(expr(t, "x"), expr(t, fmt.Sprintf("%d", val)))
+		// A few unrelated assignments must not disturb x.
+		for i := 0; i < rng.Intn(4); i++ {
+			env.Assign(expr(t, "y"), expr(t, fmt.Sprintf("%d", rng.Intn(9))))
+		}
+		got := env.EvalCond(expr(t, "x"))
+		want := MustFalse
+		if val != 0 {
+			want = MustTrue
+		}
+		if got != want {
+			t.Fatalf("trial %d: x=%d evaluates to %v", trial, val, got)
+		}
+		gotNot := env.EvalCond(expr(t, "!x"))
+		wantNot := MustTrue
+		if val != 0 {
+			wantNot = MustFalse
+		}
+		if gotNot != wantNot {
+			t.Fatalf("trial %d: !x with x=%d evaluates to %v", trial, val, gotNot)
+		}
+	}
+}

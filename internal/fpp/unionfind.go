@@ -1,0 +1,366 @@
+package fpp
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cc"
+)
+
+// unionFind is the congruence-closure core (§8 step 4): equivalence
+// classes over terms, each optionally carrying a constant; plus
+// disequalities and strict orderings between classes ("if x < y holds,
+// then everything in x's equivalence class is smaller than everything
+// in y's equivalence class").
+type unionFind struct {
+	parent map[string]string
+	konst  map[string]*int64          // root -> known constant
+	diseq  map[string]map[string]bool // root -> set of unequal roots
+	less   map[string]map[string]bool // root -> roots strictly greater
+	leq    map[string]map[string]bool // root -> roots greater-or-equal
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{
+		parent: map[string]string{},
+		konst:  map[string]*int64{},
+		diseq:  map[string]map[string]bool{},
+		less:   map[string]map[string]bool{},
+		leq:    map[string]map[string]bool{},
+	}
+}
+
+func (u *unionFind) clone() *unionFind {
+	out := newUnionFind()
+	for k, v := range u.parent {
+		out.parent[k] = v
+	}
+	for k, v := range u.konst {
+		if v != nil {
+			c := *v
+			out.konst[k] = &c
+		}
+	}
+	for k, m := range u.diseq {
+		nm := make(map[string]bool, len(m))
+		for k2 := range m {
+			nm[k2] = true
+		}
+		out.diseq[k] = nm
+	}
+	for k, m := range u.less {
+		nm := make(map[string]bool, len(m))
+		for k2 := range m {
+			nm[k2] = true
+		}
+		out.less[k] = nm
+	}
+	for k, m := range u.leq {
+		nm := make(map[string]bool, len(m))
+		for k2 := range m {
+			nm[k2] = true
+		}
+		out.leq[k] = nm
+	}
+	return out
+}
+
+// find returns the class root, registering unseen terms. Constant
+// terms ("$42") self-describe their value.
+func (u *unionFind) find(t string) string {
+	p, ok := u.parent[t]
+	if !ok {
+		u.parent[t] = t
+		if strings.HasPrefix(t, "$") {
+			if v, err := strconv.ParseInt(t[1:], 10, 64); err == nil {
+				u.konst[t] = &v
+			}
+		}
+		return t
+	}
+	if p == t {
+		return t
+	}
+	root := u.find(p)
+	u.parent[t] = root
+	return root
+}
+
+func (u *unionFind) constOf(t string) (int64, bool) {
+	if t == "" {
+		return 0, false
+	}
+	r := u.find(t)
+	if c := u.konst[r]; c != nil {
+		return *c, true
+	}
+	return 0, false
+}
+
+// union merges the classes of a and b, propagating constants. It
+// returns false on contradiction (two different constants, or a
+// recorded disequality/ordering between the classes).
+func (u *unionFind) union(a, b string) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return true
+	}
+	if u.diseq[ra][rb] || u.less[ra][rb] || u.less[rb][ra] {
+		return false
+	}
+	ca, cb := u.konst[ra], u.konst[rb]
+	if ca != nil && cb != nil && *ca != *cb {
+		return false
+	}
+	// Merge rb into ra.
+	u.parent[rb] = ra
+	if ca == nil && cb != nil {
+		u.konst[ra] = cb
+	}
+	delete(u.konst, rb)
+	// Rewire relations mentioning rb to ra.
+	for _, rel := range []map[string]map[string]bool{u.diseq, u.less, u.leq} {
+		if m := rel[rb]; m != nil {
+			for other := range m {
+				u.addRel(rel, ra, u.find(other))
+			}
+			delete(rel, rb)
+		}
+		for from, m := range rel {
+			if m[rb] {
+				delete(m, rb)
+				m[ra] = true
+				_ = from
+			}
+		}
+	}
+	return u.consistent(ra)
+}
+
+func (u *unionFind) addRel(rel map[string]map[string]bool, a, b string) {
+	m := rel[a]
+	if m == nil {
+		m = map[string]bool{}
+		rel[a] = m
+	}
+	m[b] = true
+}
+
+// consistent re-checks a class after merging: no self-disequality,
+// no self-less, constants respect orderings.
+func (u *unionFind) consistent(r string) bool {
+	if u.diseq[r][r] || u.less[r][r] {
+		return false
+	}
+	c := u.konst[r]
+	if c == nil {
+		return true
+	}
+	for other := range u.less[r] {
+		ro := u.find(other)
+		if co := u.konst[ro]; co != nil && !(*c < *co) {
+			return false
+		}
+	}
+	for other := range u.leq[r] {
+		ro := u.find(other)
+		if co := u.konst[ro]; co != nil && !(*c <= *co) {
+			return false
+		}
+	}
+	return true
+}
+
+// relate answers whether op(a, b) must hold, must not hold, or is
+// unknown given the recorded facts.
+func (u *unionFind) relate(op cc.TokKind, a, b string) Verdict {
+	ra, rb := u.find(a), u.find(b)
+	ca, cb := u.konst[ra], u.konst[rb]
+	if ca != nil && cb != nil {
+		v, ok := applyBinop(op, *ca, *cb)
+		if !ok {
+			return Unknown
+		}
+		if v != 0 {
+			return MustTrue
+		}
+		return MustFalse
+	}
+	same := ra == rb
+	dis := u.diseq[ra][rb] || u.diseq[rb][ra]
+	ltAB := u.lessHolds(ra, rb)
+	ltBA := u.lessHolds(rb, ra)
+	leAB := ltAB || u.leqHolds(ra, rb) || same
+	leBA := ltBA || u.leqHolds(rb, ra) || same
+
+	switch op {
+	case cc.TokEq:
+		if same {
+			return MustTrue
+		}
+		if dis || ltAB || ltBA {
+			return MustFalse
+		}
+	case cc.TokNe:
+		if same {
+			return MustFalse
+		}
+		if dis || ltAB || ltBA {
+			return MustTrue
+		}
+	case cc.TokLt:
+		if ltAB {
+			return MustTrue
+		}
+		// b <= a (including equality) contradicts a < b.
+		if same || ltBA || leBA {
+			return MustFalse
+		}
+	case cc.TokGt:
+		if ltBA {
+			return MustTrue
+		}
+		if same || ltAB || leAB {
+			return MustFalse
+		}
+	case cc.TokLe:
+		if leAB || ltAB || same {
+			return MustTrue
+		}
+		if ltBA {
+			return MustFalse
+		}
+	case cc.TokGe:
+		if leBA || ltBA || same {
+			return MustTrue
+		}
+		if ltAB {
+			return MustFalse
+		}
+	}
+	return Unknown
+}
+
+// lessHolds reports whether a < b is derivable (directly or through
+// one transitive hop; full transitive closure is maintained eagerly on
+// assert, so direct lookup suffices).
+func (u *unionFind) lessHolds(ra, rb string) bool { return u.less[ra][rb] }
+func (u *unionFind) leqHolds(ra, rb string) bool  { return u.leq[ra][rb] }
+
+// assert records op(a, b) as a fact; it returns false when this
+// contradicts existing facts.
+func (u *unionFind) assert(op cc.TokKind, a, b string) bool {
+	// Reject if the negation is already established.
+	switch u.relate(op, a, b) {
+	case MustTrue:
+		return true
+	case MustFalse:
+		return false
+	}
+	ra, rb := u.find(a), u.find(b)
+	switch op {
+	case cc.TokEq:
+		return u.union(ra, rb)
+	case cc.TokNe:
+		u.addRel(u.diseq, ra, rb)
+		u.addRel(u.diseq, rb, ra)
+		return true
+	case cc.TokLt:
+		u.addLess(ra, rb)
+		return u.consistent(ra) && u.consistent(rb)
+	case cc.TokGt:
+		u.addLess(rb, ra)
+		return u.consistent(ra) && u.consistent(rb)
+	case cc.TokLe:
+		u.addLeq(ra, rb)
+		return u.consistent(ra) && u.consistent(rb)
+	case cc.TokGe:
+		u.addLeq(rb, ra)
+		return u.consistent(ra) && u.consistent(rb)
+	}
+	return true
+}
+
+// addLess records ra < rb and maintains transitive closure over both
+// less and leq edges.
+func (u *unionFind) addLess(ra, rb string) {
+	u.addRel(u.less, ra, rb)
+	u.addRel(u.diseq, ra, rb)
+	u.addRel(u.diseq, rb, ra)
+	// x <(=) ra < rb  =>  x < rb ; ra < rb <=(>) y => ra < y.
+	for x, m := range u.less {
+		if m[ra] {
+			u.addRel(u.less, x, rb)
+			u.addRel(u.diseq, x, rb)
+			u.addRel(u.diseq, rb, x)
+		}
+	}
+	for x, m := range u.leq {
+		if m[ra] {
+			u.addRel(u.less, x, rb)
+			u.addRel(u.diseq, x, rb)
+			u.addRel(u.diseq, rb, x)
+		}
+	}
+	for y := range u.less[rb] {
+		u.addRel(u.less, ra, y)
+	}
+	for y := range u.leq[rb] {
+		u.addRel(u.less, ra, y)
+	}
+}
+
+// addLeq records ra <= rb with transitive closure.
+func (u *unionFind) addLeq(ra, rb string) {
+	u.addRel(u.leq, ra, rb)
+	for x, m := range u.less {
+		if m[ra] {
+			u.addRel(u.less, x, rb)
+		}
+	}
+	for x, m := range u.leq {
+		if m[ra] {
+			u.addRel(u.leq, x, rb)
+		}
+	}
+	for y := range u.less[rb] {
+		u.addRel(u.less, ra, y)
+	}
+	for y := range u.leq[rb] {
+		u.addRel(u.leq, ra, y)
+	}
+}
+
+// fingerprint renders a canonical summary of all facts.
+func (u *unionFind) fingerprint(versions map[string]int) string {
+	var parts []string
+	for t := range u.parent {
+		r := u.find(t)
+		if r != t {
+			parts = append(parts, t+"="+r)
+		}
+		if c := u.konst[r]; c != nil && !strings.HasPrefix(t, "$") {
+			parts = append(parts, t+"#"+strconv.FormatInt(*c, 10))
+		}
+	}
+	for a, m := range u.diseq {
+		for b := range m {
+			if a < b {
+				parts = append(parts, a+"!="+b)
+			}
+		}
+	}
+	for a, m := range u.less {
+		for b := range m {
+			parts = append(parts, a+"<"+b)
+		}
+	}
+	for a, m := range u.leq {
+		for b := range m {
+			parts = append(parts, a+"<="+b)
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}

@@ -1,0 +1,254 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+)
+
+func TestKnownMeta(t *testing.T) {
+	for _, m := range []string{"any_expr", "any_scalar", "any_pointer", "any_arguments", "any_fn_call"} {
+		if !KnownMeta(m) {
+			t.Errorf("%s should be known", m)
+		}
+	}
+	for _, m := range []string{"", "any_thing", "int", "pointer"} {
+		if KnownMeta(m) {
+			t.Errorf("%s should not be known", m)
+		}
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	holes := map[string]*Hole{"v": {Name: "v", Meta: MetaAnyPtr}}
+	b1, _ := CompileBase("kfree(v)", holes)
+	b2, _ := CompileBase("*v", holes)
+	co, _ := CompileCallout(`mc_is_call_to(fn, "gets")`)
+	cases := []struct {
+		p    Pattern
+		want string
+	}{
+		{b1, "{ kfree(v) }"},
+		{&And{X: b1, Y: co}, `{ kfree(v) } && ${mc_is_call_to(fn, "gets")}`},
+		{&Or{X: b1, Y: b2}, "{ kfree(v) } || { *v }"},
+		{EndOfPath{}, "$end_of_path$"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestBindingString(t *testing.T) {
+	e, _ := cc.ParseExprString("a + b")
+	b := Binding{Expr: e}
+	if b.String() != "a + b" {
+		t.Errorf("expr binding = %q", b.String())
+	}
+	x, _ := cc.ParseExprString("x")
+	y, _ := cc.ParseExprString("y[2]")
+	argsB := Binding{Args: []cc.Expr{x, y}}
+	if argsB.String() != "x, y[2]" {
+		t.Errorf("args binding = %q", argsB.String())
+	}
+}
+
+// matchAt matches a pattern against a standalone expression with
+// permissive (unknown) typing.
+func matchAt(t *testing.T, p Pattern, src string) (Bindings, bool) {
+	t.Helper()
+	e, err := cc.ParseExprString(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	ctx := &Ctx{Point: e, Callouts: Builtins()}
+	return p.Match(ctx, Bindings{})
+}
+
+// TestMatchAllNodeKinds drives matchExpr through every template node
+// kind.
+func TestMatchAllNodeKinds(t *testing.T) {
+	holes := map[string]*Hole{
+		"e": {Name: "e", Meta: MetaAnyExpr},
+	}
+	cases := []struct {
+		pattern string
+		match   []string
+		reject  []string
+	}{
+		{"x + e", []string{"x + 1", "x + y"}, []string{"y + 1", "x - 1"}},
+		{"-e", []string{"-5", "-x"}, []string{"+x", "~x"}},
+		{"e++", []string{"i++"}, []string{"++i", "i--"}},
+		{"a[e]", []string{"a[0]", "a[i + 1]"}, []string{"b[0]", "a"}},
+		{"s.len", []string{"s.len"}, []string{"s->len", "t.len", "s.cap"}},
+		{"s->len", []string{"s->len"}, []string{"s.len"}},
+		{"e ? 1 : 0", []string{"x ? 1 : 0"}, []string{"x ? 0 : 1"}},
+		{"f(e, 2)", []string{"f(1, 2)", "f(x, 2)"}, []string{"f(1)", "f(1, 3)", "g(1, 2)"}},
+		{"(char)e", []string{"(char)x"}, []string{"(int)x", "x"}},
+		{"sizeof e", []string{"sizeof x"}, []string{"sizeof(int)"}},
+		{"sizeof(long)", []string{"sizeof(long)"}, []string{"sizeof(short)", "sizeof x"}},
+		{`"lit"`, []string{`"lit"`}, []string{`"other"`, "x"}},
+		{"'a'", []string{"'a'"}, []string{"'b'", "97"}},
+		{"1.5", []string{"1.5"}, []string{"1.25"}},
+		{"e = 3", []string{"x = 3", "a[0] = 3"}, []string{"x = 4", "x += 3"}},
+		{"e += 1", []string{"x += 1"}, []string{"x -= 1", "x = 1"}},
+	}
+	for _, c := range cases {
+		p, err := CompileBase(c.pattern, holes)
+		if err != nil {
+			t.Errorf("compile %q: %v", c.pattern, err)
+			continue
+		}
+		for _, m := range c.match {
+			if _, ok := matchAt(t, p, m); !ok {
+				t.Errorf("{%s} should match %q", c.pattern, m)
+			}
+		}
+		for _, r := range c.reject {
+			if _, ok := matchAt(t, p, r); ok {
+				t.Errorf("{%s} should not match %q", c.pattern, r)
+			}
+		}
+	}
+}
+
+func TestMatchCommaTemplate(t *testing.T) {
+	holes := map[string]*Hole{"e": {Name: "e", Meta: MetaAnyExpr}}
+	p, err := CompileBase("a = 1, e", holes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := matchAt(t, p, "a = 1, b"); !ok {
+		t.Error("comma pattern should match")
+	}
+	if _, ok := matchAt(t, p, "a = 1"); ok {
+		t.Error("comma pattern needs a comma target")
+	}
+}
+
+func TestRepeatedArgsHole(t *testing.T) {
+	holes := map[string]*Hole{"args": {Name: "args", Meta: MetaAnyArgs}}
+	// The same any_arguments hole twice: both call sites must have
+	// equal argument lists.
+	both, err := CompileBase("pair(first(args), second(args))", holes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := matchAt(t, both, "pair(first(1, x), second(1, x))"); !ok {
+		t.Error("equal arg lists should match")
+	}
+	if _, ok := matchAt(t, both, "pair(first(1, x), second(1, y))"); ok {
+		t.Error("different arg lists must not match")
+	}
+	if _, ok := matchAt(t, both, "pair(first(1), second(1, 2))"); ok {
+		t.Error("different arg counts must not match")
+	}
+}
+
+func TestArgsHoleOutsideCallRejected(t *testing.T) {
+	holes := map[string]*Hole{"args": {Name: "args", Meta: MetaAnyArgs}}
+	p, err := CompileBase("args + 1", holes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// any_arguments cannot fill an expression position.
+	if _, ok := matchAt(t, p, "x + 1"); ok {
+		t.Error("any_arguments must not match a plain expression")
+	}
+}
+
+func TestBuiltinEdgeCases(t *testing.T) {
+	reg := Builtins()
+	e, _ := cc.ParseExprString("f(x)")
+	id, _ := cc.ParseExprString("x")
+	ctx := &Ctx{Point: e, Callouts: reg}
+
+	// Wrong arity / unbound / wrong kinds all answer false, never panic.
+	for name, fn := range reg {
+		if fn(ctx, nil) {
+			t.Errorf("%s(no args) should be false", name)
+		}
+		if fn(ctx, []CalloutArg{{Bound: true}}) && name != "mc_not_string_constant" {
+			// A bound-but-empty binding should not satisfy most
+			// predicates.
+			t.Errorf("%s(empty binding) = true", name)
+		}
+	}
+
+	// mc_name_contains.
+	if !reg["mc_name_contains"](ctx, []CalloutArg{
+		{Bound: true, Binding: Binding{Expr: e}}, {IsStr: true, Str: "f("},
+	}) {
+		t.Error("mc_name_contains should find substring")
+	}
+	// mc_is_arg_count.
+	if !reg["mc_is_arg_count"](ctx, []CalloutArg{
+		{Bound: true, Binding: Binding{Expr: e}}, {IsInt: true, Int: 1},
+	}) {
+		t.Error("mc_is_arg_count(f(x), 1) should hold")
+	}
+	if reg["mc_is_arg_count"](ctx, []CalloutArg{
+		{Bound: true, Binding: Binding{Expr: e}}, {IsInt: true, Int: 2},
+	}) {
+		t.Error("mc_is_arg_count(f(x), 2) must not hold")
+	}
+	// mc_is_pointer with no type info: unknown is not a pointer for
+	// this predicate (strict).
+	if reg["mc_is_pointer"](ctx, []CalloutArg{{Bound: true, Binding: Binding{Expr: id}}}) {
+		t.Error("untyped ident should not satisfy mc_is_pointer")
+	}
+	// mc_is_branch_cond without a branch context.
+	if reg["mc_is_branch_cond"](ctx, []CalloutArg{{Bound: true, Binding: Binding{Expr: id}}}) {
+		t.Error("no branch context: mc_is_branch_cond must be false")
+	}
+	ctx2 := &Ctx{Point: id, Callouts: reg, Extra: map[string]interface{}{"branch_cond": cc.Expr(id)}}
+	if !reg["mc_is_branch_cond"](ctx2, []CalloutArg{{Bound: true, Binding: Binding{Expr: id}}}) {
+		t.Error("point == branch cond should satisfy mc_is_branch_cond")
+	}
+}
+
+func TestCalloutMissingFunction(t *testing.T) {
+	co, _ := CompileCallout("not_registered(x)")
+	e, _ := cc.ParseExprString("x")
+	ctx := &Ctx{Point: e, Callouts: Builtins()}
+	if _, ok := co.Match(ctx, Bindings{}); ok {
+		t.Error("unregistered callout must not match")
+	}
+}
+
+func TestSubstituteHolesCoverage(t *testing.T) {
+	holes := map[string]*Hole{"v": {Name: "v", Meta: MetaAnyExpr}}
+	// Exercise the remaining substitution arms: cond, comma, cast,
+	// sizeof-expr, assign.
+	srcs := []string{
+		"v ? v : 0",
+		"v, v",
+		"(char)v",
+		"sizeof v",
+		"v = v",
+		"v[v].f",
+		"g(v)(v)",
+	}
+	for _, src := range srcs {
+		b, err := CompileBase(src, holes)
+		if err != nil {
+			t.Errorf("compile %q: %v", src, err)
+			continue
+		}
+		count := 0
+		cc.WalkExpr(b.Tmpl, func(e cc.Expr) bool {
+			if _, ok := e.(*cc.HoleExpr); ok {
+				count++
+			}
+			return true
+		})
+		if count == 0 {
+			t.Errorf("%q: no holes substituted", src)
+		}
+		if strings.Contains(cc.ExprString(b.Tmpl), "v") && count < strings.Count(src, "v") {
+			t.Errorf("%q: some v left unsubstituted: %s", src, cc.ExprString(b.Tmpl))
+		}
+	}
+}

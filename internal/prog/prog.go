@@ -1,0 +1,211 @@
+// Package prog assembles parsed translation units into a whole-program
+// representation: per-function CFGs, the call graph with roots, and the
+// type environment. This is the "second analysis pass" of §6: it reads
+// ASTs, reassembles them, and constructs the CFG and call graph.
+// Functions with no callers are roots; recursive call chains are broken
+// arbitrarily (§6 step 2).
+package prog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/cfg"
+)
+
+// Function is one analyzed function: its declaration, CFG, inferred
+// expression types, and call-graph links.
+type Function struct {
+	Name    string
+	Decl    *cc.FuncDecl
+	Graph   *cfg.Graph
+	Types   cc.TypeMap
+	Callees []*Function
+	Callers []*Function
+}
+
+// Program is the whole-program view the analysis engine consumes.
+type Program struct {
+	Files []*cc.File
+	Env   *cc.TypeEnv
+	// Funcs maps resolvable names to function definitions. Static
+	// functions are registered under both "file.c:name" and, when not
+	// shadowed by an external definition, the bare name.
+	Funcs map[string]*Function
+	// All lists function definitions in deterministic order.
+	All []*Function
+	// Roots are the call-graph roots: functions with no callers, plus
+	// one arbitrary representative per otherwise-unreachable cycle.
+	Roots []*Function
+	// GlobalNames lists file-scope variable names; Statics maps
+	// file-scope static variable names to their defining file. The
+	// engine's refine/restore rules (§6.1) use these to classify
+	// tracked objects.
+	GlobalNames map[string]bool
+	Statics     map[string]string
+}
+
+// staticKey names a file-scoped function uniquely.
+func staticKey(file, name string) string { return file + ":" + name }
+
+// Build assembles a program from parsed files.
+func Build(files ...*cc.File) *Program {
+	p := &Program{
+		Files:       files,
+		Env:         cc.NewTypeEnv(files...),
+		Funcs:       map[string]*Function{},
+		GlobalNames: map[string]bool{},
+		Statics:     map[string]string{},
+	}
+	// Collect file-scope variables.
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if vd, ok := d.(*cc.VarDecl); ok {
+				p.GlobalNames[vd.Name] = true
+				if vd.Storage == cc.StorageStatic {
+					p.Statics[vd.Name] = f.Name
+				}
+			}
+		}
+	}
+	// Collect definitions.
+	for _, f := range files {
+		for _, fd := range f.Funcs() {
+			fn := &Function{Name: fd.Name, Decl: fd}
+			p.All = append(p.All, fn)
+			if fd.Storage == cc.StorageStatic {
+				p.Funcs[staticKey(f.Name, fd.Name)] = fn
+				if _, taken := p.Funcs[fd.Name]; !taken {
+					p.Funcs[fd.Name] = fn
+				}
+			} else {
+				p.Funcs[fd.Name] = fn
+			}
+		}
+	}
+	// Build CFGs and types; link the call graph.
+	for _, fn := range p.All {
+		fn.Graph = cfg.Build(fn.Decl)
+		fn.Types = p.Env.CheckFunc(fn.Decl)
+	}
+	for _, fn := range p.All {
+		seen := map[*Function]bool{}
+		for _, b := range fn.Graph.Blocks {
+			for _, call := range cfg.CallsIn(b) {
+				callee := p.Resolve(fn, call)
+				if callee == nil || seen[callee] {
+					continue
+				}
+				seen[callee] = true
+				fn.Callees = append(fn.Callees, callee)
+				callee.Callers = append(callee.Callers, fn)
+			}
+		}
+	}
+	p.computeRoots()
+	return p
+}
+
+// BuildSource parses the given named sources and assembles a program.
+// srcs maps file name to C source text.
+func BuildSource(srcs map[string]string) (*Program, error) {
+	names := make([]string, 0, len(srcs))
+	for n := range srcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*cc.File
+	for _, n := range names {
+		f, err := cc.ParseFile(n, srcs[n])
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", n, err)
+		}
+		files = append(files, f)
+	}
+	return Build(files...), nil
+}
+
+// Resolve finds the definition a call expression targets, or nil for
+// indirect calls and functions without bodies. Per §6, a missing CFG
+// is not an error — the analysis silently continues.
+func (p *Program) Resolve(caller *Function, call *cc.CallExpr) *Function {
+	id, ok := call.Fun.(*cc.Ident)
+	if !ok {
+		return nil // indirect call
+	}
+	// Static function in the same file shadows externals.
+	if caller != nil {
+		if fn, ok := p.Funcs[staticKey(caller.Decl.File, id.Name)]; ok {
+			return fn
+		}
+	}
+	return p.Funcs[id.Name]
+}
+
+// computeRoots finds call-graph roots. Functions with no callers are
+// roots. Functions reachable only through cycles get one arbitrary
+// (deterministic: lexicographically first) representative per cycle.
+func (p *Program) computeRoots() {
+	ordered := make([]*Function, len(p.All))
+	copy(ordered, p.All)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Name < ordered[j].Name })
+
+	reached := map[*Function]bool{}
+	var mark func(*Function)
+	mark = func(fn *Function) {
+		if reached[fn] {
+			return
+		}
+		reached[fn] = true
+		for _, c := range fn.Callees {
+			mark(c)
+		}
+	}
+	for _, fn := range ordered {
+		if len(fn.Callers) == 0 {
+			p.Roots = append(p.Roots, fn)
+			mark(fn)
+		}
+	}
+	// Break cycles: any function still unreached is in (or below) a
+	// recursive chain with no acyclic entry; promote the first.
+	for {
+		var pick *Function
+		for _, fn := range ordered {
+			if !reached[fn] {
+				pick = fn
+				break
+			}
+		}
+		if pick == nil {
+			return
+		}
+		p.Roots = append(p.Roots, pick)
+		mark(pick)
+	}
+}
+
+// Lookup returns the function with the given name, if defined.
+func (p *Program) Lookup(name string) *Function {
+	return p.Funcs[name]
+}
+
+// String summarizes the program's call graph.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, fn := range p.All {
+		fmt.Fprintf(&sb, "%s ->", fn.Name)
+		for _, c := range fn.Callees {
+			fmt.Fprintf(&sb, " %s", c.Name)
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "roots:")
+	for _, r := range p.Roots {
+		fmt.Fprintf(&sb, " %s", r.Name)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

@@ -1,0 +1,164 @@
+package prog
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func names(fns []*Function) []string {
+	var out []string
+	for _, f := range fns {
+		out = append(out, f.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestCallGraphAndRoots(t *testing.T) {
+	p, err := BuildSource(map[string]string{"a.c": `
+void leaf(void) {}
+void mid(void) { leaf(); }
+void root1(void) { mid(); leaf(); }
+void root2(void) { mid(); }
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := names(p.Roots); len(got) != 2 || got[0] != "root1" || got[1] != "root2" {
+		t.Errorf("roots = %v", got)
+	}
+	mid := p.Lookup("mid")
+	if got := names(mid.Callers); len(got) != 2 {
+		t.Errorf("mid callers = %v", got)
+	}
+	if got := names(mid.Callees); len(got) != 1 || got[0] != "leaf" {
+		t.Errorf("mid callees = %v", got)
+	}
+}
+
+func TestRecursionBrokenArbitrarily(t *testing.T) {
+	p, err := BuildSource(map[string]string{"a.c": `
+void ping(void);
+void pong(void) { ping(); }
+void ping(void) { pong(); }
+void self(void) { self(); }
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every cycle gets exactly one root; no function has zero callers
+	// here, so the roots come entirely from cycle breaking.
+	got := names(p.Roots)
+	if len(got) != 2 {
+		t.Fatalf("roots = %v, want 2 (one per cycle)", got)
+	}
+	// Deterministic: lexicographically first of each cycle.
+	if got[0] != "ping" || got[1] != "self" {
+		t.Errorf("roots = %v, want [ping self]", got)
+	}
+}
+
+func TestStaticFunctionResolution(t *testing.T) {
+	p, err := BuildSource(map[string]string{
+		"a.c": `
+static void helper(void) {}
+void user_a(void) { helper(); }
+`,
+		"b.c": `
+static void helper(void) {}
+void user_b(void) { helper(); }
+`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each user must resolve to its own file's static helper.
+	ua := p.Lookup("user_a")
+	ub := p.Lookup("user_b")
+	if len(ua.Callees) != 1 || len(ub.Callees) != 1 {
+		t.Fatalf("callees: a=%d b=%d", len(ua.Callees), len(ub.Callees))
+	}
+	if ua.Callees[0] == ub.Callees[0] {
+		t.Error("static helpers conflated across files")
+	}
+	if ua.Callees[0].Decl.File != "a.c" || ub.Callees[0].Decl.File != "b.c" {
+		t.Errorf("resolution crossed files: %s / %s",
+			ua.Callees[0].Decl.File, ub.Callees[0].Decl.File)
+	}
+}
+
+func TestMissingCalleeSilentlySkipped(t *testing.T) {
+	p, err := BuildSource(map[string]string{"a.c": `
+void external_thing(int);
+void f(void) { external_thing(1); undeclared_thing(2); }
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Lookup("f")
+	if len(f.Callees) != 0 {
+		t.Errorf("callees = %v, want none (no bodies available)", names(f.Callees))
+	}
+	if len(p.Roots) != 1 || p.Roots[0].Name != "f" {
+		t.Errorf("roots = %v", names(p.Roots))
+	}
+}
+
+func TestIndirectCallsIgnored(t *testing.T) {
+	p, err := BuildSource(map[string]string{"a.c": `
+void target(void) {}
+void f(void (*fp)(void)) { fp(); }
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Lookup("f")
+	if len(f.Callees) != 0 {
+		t.Errorf("indirect call resolved: %v", names(f.Callees))
+	}
+}
+
+func TestCrossFileCalls(t *testing.T) {
+	p, err := BuildSource(map[string]string{
+		"main.c": `
+void util(int);
+int main(void) { util(3); return 0; }
+`,
+		"util.c": `
+void util(int x) {}
+`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Lookup("main")
+	if len(m.Callees) != 1 || m.Callees[0].Name != "util" {
+		t.Errorf("main callees = %v", names(m.Callees))
+	}
+	if got := names(p.Roots); len(got) != 1 || got[0] != "main" {
+		t.Errorf("roots = %v", got)
+	}
+}
+
+func TestParseErrorPropagates(t *testing.T) {
+	if _, err := BuildSource(map[string]string{"bad.c": "int f( {"}); err == nil {
+		t.Error("want parse error")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p, err := BuildSource(map[string]string{"a.c": `
+void leaf(void) {}
+void root(void) { leaf(); }
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.String()
+	for _, frag := range []string{"root -> leaf", "roots: root"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("String() missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package mc is the public API of this metal/xgcc reproduction — the
+// metacompilation system of Hallem, Chelf, Xie & Engler, "A System and
+// Language for Building System-Specific, Static Analyses" (PLDI 2002).
+//
+// A typical session parses C sources, loads one or more metal
+// checkers, runs the context-sensitive interprocedural analysis, and
+// reads back ranked error reports:
+//
+//	a := mc.NewAnalyzer()
+//	a.AddSource("driver.c", src)
+//	a.LoadBundledChecker("free")
+//	res, err := a.Run()
+//	for _, r := range res.Ranked() {
+//	    fmt.Println(r)
+//	}
+package mc
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/cc"
+	"repro/internal/checkers"
+	"repro/internal/core"
+	"repro/internal/metal"
+	"repro/internal/pattern"
+	"repro/internal/prog"
+	"repro/internal/rank"
+	"repro/internal/report"
+)
+
+// Options re-exports the engine feature switches.
+type Options = core.Options
+
+// DefaultOptions enables the full analysis (interprocedural traversal,
+// block and function caching, false path pruning, synonyms, kills).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Report re-exports the report type.
+type Report = report.Report
+
+// Analyzer assembles sources and checkers and runs the engine.
+type Analyzer struct {
+	opts     Options
+	srcs     map[string]string
+	files    []*cc.File
+	checkers []*metal.Checker
+	shared   *core.Shared
+	history  *report.History
+	// Marks lets callers pre-annotate function names (e.g. blocking
+	// functions for the block checker).
+	marks map[string][]string
+}
+
+// NewAnalyzer returns an analyzer with default options.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{
+		opts:   core.DefaultOptions(),
+		srcs:   map[string]string{},
+		shared: core.NewShared(),
+		marks:  map[string][]string{},
+	}
+}
+
+// SetOptions replaces the engine options.
+func (a *Analyzer) SetOptions(o Options) { a.opts = o }
+
+// AddSource registers one C translation unit by name.
+func (a *Analyzer) AddSource(name, src string) { a.srcs[name] = src }
+
+// AddFile parses and registers a C file from disk.
+func (a *Analyzer) AddFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	a.AddSource(filepath.Base(path), string(data))
+	return nil
+}
+
+// AddDirectory registers every .c file in a directory (not
+// recursive).
+func (a *Analyzer) AddDirectory(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".c" {
+			continue
+		}
+		if err := a.AddFile(filepath.Join(dir, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddAST registers a pre-parsed translation unit (pass 2 of the
+// two-pass pipeline; see EmitAST).
+func (a *Analyzer) AddAST(f *cc.File) { a.files = append(a.files, f) }
+
+// EmitAST runs pass 1 on one source: parse and serialize the AST, as
+// §6 describes ("compiles each file in isolation, emitting ASTs to a
+// temporary file").
+func EmitAST(name, src string) ([]byte, error) {
+	f, err := cc.ParseFile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return cc.EmitFile(f), nil
+}
+
+// LoadAST reassembles an emitted AST (pass 2).
+func LoadAST(data []byte) (*cc.File, error) { return cc.ReadFile(data) }
+
+// LoadChecker compiles metal checker source text.
+func (a *Analyzer) LoadChecker(src string) error {
+	c, err := metal.Parse(src)
+	if err != nil {
+		return err
+	}
+	a.checkers = append(a.checkers, c)
+	return nil
+}
+
+// LoadBundledChecker loads one of the shipped checkers by name (free,
+// lock, null, interrupt, block, banned, format, leak, realloc,
+// sec-annotator, panic-marker).
+func (a *Analyzer) LoadBundledChecker(name string) error {
+	c, err := checkers.Parse(name)
+	if err != nil {
+		return err
+	}
+	a.checkers = append(a.checkers, c)
+	return nil
+}
+
+// BundledCheckers lists the shipped checker names and docs.
+func BundledCheckers() []checkers.Source { return checkers.All() }
+
+// MarkFunction pre-annotates a function name (composition flags such
+// as "blocking" or "pathkill").
+func (a *Analyzer) MarkFunction(name, key string) {
+	a.marks[name] = append(a.marks[name], key)
+}
+
+// SetHistory installs a prior version's reports; matching reports are
+// suppressed (§8 "History").
+func (a *Analyzer) SetHistory(old []*Report) { a.history = report.NewHistory(old) }
+
+// Result is one analysis run's output.
+type Result struct {
+	// Program is the assembled whole-program view.
+	Program *prog.Program
+	// Raw reports in emission order, after history suppression.
+	Reports []*Report
+	// RuleStats holds z-statistic evidence per rule.
+	RuleStats map[string]rank.RuleStat
+	// Stats aggregates engine counters per checker.
+	Stats map[string]core.Stats
+	// Engines retains each checker's engine for summary inspection.
+	Engines map[string]*core.Engine
+}
+
+// Run parses everything, assembles the program, and applies each
+// loaded checker in order (sharing composition annotations).
+func (a *Analyzer) Run() (*Result, error) {
+	files := append([]*cc.File(nil), a.files...)
+	names := make([]string, 0, len(a.srcs))
+	for n := range a.srcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f, err := cc.ParseFile(n, a.srcs[n])
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", n, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no sources added")
+	}
+	if len(a.checkers) == 0 {
+		return nil, fmt.Errorf("no checkers loaded")
+	}
+	p := prog.Build(files...)
+
+	res := &Result{
+		Program:   p,
+		RuleStats: map[string]rank.RuleStat{},
+		Stats:     map[string]core.Stats{},
+		Engines:   map[string]*core.Engine{},
+	}
+	for _, c := range a.checkers {
+		en := core.NewEngineShared(p, c, a.opts, a.shared)
+		for name, keys := range a.marks {
+			for _, k := range keys {
+				en.MarkFn(name, k)
+			}
+		}
+		rs := en.Run()
+		res.Reports = append(res.Reports, rs.Reports...)
+		for rule, rc := range en.RuleStats {
+			prev := res.RuleStats[rule]
+			prev.Rule = rule
+			prev.Examples += rc.Examples
+			prev.Violations += rc.Violations
+			res.RuleStats[rule] = prev
+		}
+		res.Stats[c.Name] = en.Stats
+		res.Engines[c.Name] = en
+	}
+	if a.history != nil {
+		res.Reports = a.history.Suppress(res.Reports)
+	}
+	return res, nil
+}
+
+// Ranked returns the reports ordered by the generic ranking criteria
+// (§9): severity class, locality, indirection, then distance +
+// conditionals.
+func (r *Result) Ranked() []*Report { return rank.Generic(r.Reports) }
+
+// ZRanked returns the reports ordered by statistical rule reliability
+// first (§9 "Statistical ranking"), generic criteria within.
+func (r *Result) ZRanked() []*Report { return rank.Statistical(r.Reports, r.RuleStats) }
+
+// Grouped returns z-ordered rule groups.
+func (r *Result) Grouped() []rank.RuleGroup { return rank.Grouped(r.Reports, r.RuleStats) }
+
+// InferPairs runs the statistical must-pair rule inference of [10]
+// over the assembled program.
+func (r *Result) InferPairs(filter func(string) bool) []checkers.InferredPair {
+	return checkers.InferPairs(r.Program, filter)
+}
+
+// Callout re-exports the custom-callout type for native extensions.
+type Callout = pattern.CalloutFunc

@@ -1,0 +1,52 @@
+/* ringbuf.c — an interrupt-safe ring buffer. One deliberate missing
+ * sti() on an early-exit path and one lock leak. */
+
+void cli(void);
+void sti(void);
+void lock(int *l);
+void unlock(int *l);
+void *kmalloc(unsigned long n);
+void kfree(void *p);
+
+struct ring {
+    int lock;
+    int head;
+    int tail;
+    int cap;
+    int *data;
+};
+
+int ring_push(struct ring *r, int v)
+{
+    cli();
+    if ((r->head + 1) % r->cap == r->tail) {
+        return -1;               /* BUG: interrupts left disabled */
+    }
+    r->data[r->head] = v;
+    r->head = (r->head + 1) % r->cap;
+    sti();
+    return 0;
+}
+
+int ring_pop(struct ring *r, int *out)
+{
+    int got = 0;
+    lock(&r->lock);
+    if (r->head != r->tail) {
+        *out = r->data[r->tail];
+        r->tail = (r->tail + 1) % r->cap;
+        got = 1;
+    }
+    if (got)
+        unlock(&r->lock);        /* BUG: lock leaked when empty */
+    return got;
+}
+
+int ring_reset(struct ring *r)
+{
+    lock(&r->lock);
+    r->head = 0;
+    r->tail = 0;
+    unlock(&r->lock);
+    return 0;
+}

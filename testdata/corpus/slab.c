@@ -1,0 +1,67 @@
+/* slab.c — a miniature slab-style allocator in the style of kernel
+ * code. Contains one deliberate double-free in slab_destroy and a
+ * use-after-free in slab_shrink. */
+
+typedef unsigned long size_t;
+
+void *kmalloc(size_t n);
+void kfree(void *p);
+void lock(int *l);
+void unlock(int *l);
+int printk(const char *fmt, ...);
+
+struct slab {
+    int lock;
+    int nobj;
+    int objsize;
+    char *base;
+    struct slab *next;
+};
+
+static struct slab *slab_cache;
+
+struct slab *slab_create(int objsize, int nobj)
+{
+    struct slab *s = kmalloc(sizeof(struct slab));
+    if (!s)
+        return 0;
+    s->objsize = objsize;
+    s->nobj = nobj;
+    s->base = kmalloc((size_t)(objsize * nobj));
+    if (!s->base) {
+        kfree(s);
+        return 0;
+    }
+    s->next = slab_cache;
+    slab_cache = s;
+    return s;
+}
+
+void *slab_alloc(struct slab *s, int idx)
+{
+    if (idx < 0 || idx >= s->nobj)
+        return 0;
+    lock(&s->lock);
+    s->nobj--;
+    unlock(&s->lock);
+    return s->base + idx * s->objsize;
+}
+
+void slab_destroy(struct slab *s)
+{
+    if (!s)
+        return;
+    kfree(s->base);
+    kfree(s);
+    kfree(s->base);              /* BUG: double free of s->base */
+}
+
+int slab_shrink(struct slab *s)
+{
+    char *old = s->base;
+    kfree(old);
+    s->base = kmalloc((size_t)(s->objsize * s->nobj / 2));
+    if (!s->base)
+        return old[0];           /* BUG: use after free of old */
+    return 0;
+}

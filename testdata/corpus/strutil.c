@@ -1,0 +1,43 @@
+/* strutil.c — clean string helpers: the checkers must stay silent. */
+
+typedef unsigned long size_t;
+void *kmalloc(size_t n);
+void kfree(void *p);
+
+size_t str_len(const char *s)
+{
+    size_t n = 0;
+    while (s[n] != '\0')
+        n++;
+    return n;
+}
+
+char *str_dup(const char *s)
+{
+    size_t n = str_len(s);
+    char *out = kmalloc(n + 1);
+    size_t i;
+    if (!out)
+        return 0;
+    for (i = 0; i <= n; i++)
+        out[i] = s[i];
+    return out;
+}
+
+int str_eq(const char *a, const char *b)
+{
+    size_t i = 0;
+    for (;;) {
+        if (a[i] != b[i])
+            return 0;
+        if (a[i] == '\0')
+            return 1;
+        i++;
+    }
+}
+
+void str_free(char *s)
+{
+    if (s)
+        kfree(s);
+}

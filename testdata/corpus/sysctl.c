@@ -1,0 +1,44 @@
+/* sysctl.c — a syscall-handler-shaped module. One deliberate
+ * unchecked user index and one chroot without chdir. */
+
+int get_user(int v, void *src);
+int chroot(const char *path);
+int chdir(const char *path);
+int printk(const char *fmt, ...);
+
+static int limits[32];
+
+int sysctl_read(void *ubuf)
+{
+    int idx;
+    get_user(idx, ubuf);
+    if (idx >= 32)
+        return -1;
+    return limits[idx];
+}
+
+int sysctl_write(void *ubuf, int val)
+{
+    int idx;
+    get_user(idx, ubuf);
+    limits[idx] = val;             /* BUG: unchecked user index */
+    return 0;
+}
+
+int enter_jail(const char *root, int hard)
+{
+    if (chroot(root) < 0)
+        return -1;
+    if (hard) {
+        chdir("/");
+        return 0;
+    }
+    return 1;                      /* BUG: jailed without chdir("/") */
+}
+
+int enter_jail_ok(const char *root)
+{
+    chroot(root);
+    chdir("/");
+    return 0;
+}
