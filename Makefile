@@ -1,0 +1,34 @@
+# Developer entry points. `make check` is the gate every change must
+# pass: formatting, vet, build, and the full test suite under the race
+# detector (the parallel engine must stay data-race free).
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench-parallel clean
+
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Engine-parallelism scaling series (DESIGN.md §5): sweeps -j over the
+# E11 workload, asserts byte-identical output, writes BENCH_parallel.json.
+bench-parallel:
+	$(GO) run ./cmd/mcbench -exp par
+
+clean:
+	rm -f BENCH_parallel.json
+	$(GO) clean ./...

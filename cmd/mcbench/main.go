@@ -54,10 +54,16 @@ var experiments = []struct {
 	{"e10", "§8: kill-on-redefinition vs false positives", expE10},
 	{"e11", "end-to-end: full checker suite precision/recall on a seeded tree", expE11},
 	{"e12", "§8 history: cross-version suppression isolates new bugs", expE12},
+	{"par", "engine parallelism: wall-clock vs -j on the E11 workload (writes BENCH_parallel.json)", expPar},
 }
+
+// jobsFlag is the -j value; expPar adds it to its sweep, and 0 means
+// sweep the defaults only.
+var jobsFlag int
 
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+	flag.IntVar(&jobsFlag, "j", 0, "extra worker count for the par experiment's sweep (0 = defaults 1,2,4,8)")
 	flag.Parse()
 
 	want := map[string]bool{}

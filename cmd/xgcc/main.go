@@ -36,6 +36,7 @@ func main() {
 		noFPP        = flag.Bool("no-fpp", false, "disable false path pruning")
 		marks        = flag.String("mark", "", "function annotations, e.g. might_sleep=blocking,panic=pathkill")
 		baseline     = flag.String("baseline", "", "history file: suppress reports recorded there; new reports are appended (§8 History)")
+		jobs         = flag.Int("j", 0, "parallel workers for parsing and checker execution (0 = GOMAXPROCS); output is identical at every level")
 	)
 	flag.Parse()
 
@@ -55,6 +56,7 @@ func main() {
 	opts.Interprocedural = !*intra
 	opts.FPP = !*noFPP
 	a.SetOptions(opts)
+	a.SetParallelism(*jobs)
 
 	for _, path := range flag.Args() {
 		if *twoPass {

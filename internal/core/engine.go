@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/cc"
 	"repro/internal/cfg"
@@ -78,15 +79,38 @@ type RuleCount struct {
 	Violations int
 }
 
-// Shared holds state that persists across checkers run in sequence —
-// the composition mechanism of §3.2 (AST/function annotations such as
-// the path-kill flags).
+// Shared holds state that persists across checkers — the composition
+// mechanism of §3.2 (AST/function annotations such as the path-kill
+// flags). It is safe for concurrent use: engines running in parallel
+// must access it only through Mark and Marked. FnMarks is exported for
+// post-run inspection; reading it while engines are running races.
 type Shared struct {
+	mu      sync.RWMutex
 	FnMarks map[string]map[string]bool
 }
 
 // NewShared returns an empty shared annotation store.
 func NewShared() *Shared { return &Shared{FnMarks: map[string]map[string]bool{}} }
+
+// Mark annotates a function name with a composition flag. Marks are
+// idempotent boolean sets, so concurrent writers commute.
+func (s *Shared) Mark(name, key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.FnMarks[name]
+	if m == nil {
+		m = map[string]bool{}
+		s.FnMarks[name] = m
+	}
+	m[key] = true
+}
+
+// Marked reports whether the function carries the composition flag.
+func (s *Shared) Marked(name, key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.FnMarks[name][key]
+}
 
 // Engine applies one metal checker to a program.
 type Engine struct {
@@ -155,7 +179,7 @@ func NewEngineShared(p *prog.Program, c *metal.Checker, opts Options, shared *Sh
 				name = e.Name
 			}
 		}
-		return name != "" && en.shared.FnMarks[name][args[1].Str]
+		return name != "" && en.shared.Marked(name, args[1].Str)
 	}
 	return en
 }
@@ -168,14 +192,7 @@ func (en *Engine) RegisterAction(name string, fn ActionFunc) { en.actions[name] 
 func (en *Engine) RegisterCallout(name string, fn pattern.CalloutFunc) { en.callouts[name] = fn }
 
 // MarkFn annotates a function name with a composition flag.
-func (en *Engine) MarkFn(name, key string) {
-	m := en.shared.FnMarks[name]
-	if m == nil {
-		m = map[string]bool{}
-		en.shared.FnMarks[name] = m
-	}
-	m[key] = true
-}
+func (en *Engine) MarkFn(name, key string) { en.shared.Mark(name, key) }
 
 // countRule accumulates an example or violation for a rule (§9).
 func (en *Engine) countRule(rule string, example bool) {

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/checkers"
+	"repro/internal/metal"
+)
+
+const markerSrc = `
+sm marker;
+decl any_fn_call fn;
+decl any_arguments args;
+start:
+    { fn(args) } && ${ mc_is_call_to(fn, "panic") } ==> start, { mark_fn(fn, "pathkill"); }
+;`
+
+const consumerSrc = `
+sm consumer;
+decl any_fn_call fn;
+decl any_arguments args;
+start:
+    { fn(args) } && ${ mc_fn_marked(fn, "pathkill") } ==> start, { kill_path(); }
+;`
+
+const neutralSrc = `
+sm neutral;
+start:
+    { rand() } ==> start, { err("rand"); }
+;`
+
+func parseAll(t *testing.T, srcs ...string) []*metal.Checker {
+	t.Helper()
+	out := make([]*metal.Checker, len(srcs))
+	for i, s := range srcs {
+		c, err := metal.Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+func TestPlanPhasesSplitsAnnotatorsFromConsumers(t *testing.T) {
+	cases := []struct {
+		name string
+		srcs []string
+		want string
+	}{
+		// Consumer after annotator: barrier so the marks are visible.
+		{"marker-then-consumer", []string{markerSrc, consumerSrc}, "[[0] [1]]"},
+		// Consumer before annotator: barrier so the marks stay invisible,
+		// exactly as in the sequential run.
+		{"consumer-then-marker", []string{consumerSrc, markerSrc}, "[[0] [1]]"},
+		// Neutral checkers join either side freely.
+		{"neutral-everywhere", []string{neutralSrc, markerSrc, neutralSrc, consumerSrc, neutralSrc},
+			"[[0 1 2] [3 4]]"},
+		// Annotators commute; consumers commute.
+		{"parallel-peers", []string{markerSrc, markerSrc, consumerSrc, consumerSrc}, "[[0 1] [2 3]]"},
+		{"all-neutral", []string{neutralSrc, neutralSrc, neutralSrc}, "[[0 1 2]]"},
+	}
+	for _, tc := range cases {
+		cs := parseAll(t, tc.srcs...)
+		if got := fmt.Sprint(PlanPhases(cs)); got != tc.want {
+			t.Errorf("%s: phases = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestPlanPhasesCoversBundledSuite(t *testing.T) {
+	var cs []*metal.Checker
+	for _, s := range checkers.All() {
+		c, err := metal.Parse(s.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, c)
+	}
+	phases := PlanPhases(cs)
+	seen := map[int]bool{}
+	next := 0
+	for _, ph := range phases {
+		for _, i := range ph {
+			if seen[i] || i != next {
+				t.Fatalf("phases not a load-order partition: %v", phases)
+			}
+			seen[i] = true
+			next++
+		}
+	}
+	if next != len(cs) {
+		t.Fatalf("phases cover %d of %d checkers: %v", next, len(cs), phases)
+	}
+	// The bundled suite (alphabetical load order) holds one consumer
+	// (block, reading "blocking") and one annotator (panic-marker,
+	// writing "pathkill"); block precedes panic-marker, so exactly one
+	// barrier is needed.
+	if len(phases) != 2 {
+		t.Errorf("bundled suite phases = %v, want 2 phases", phases)
+	}
+}
+
+func TestSharedConcurrentMarkAndRead(t *testing.T) {
+	s := NewShared()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Mark(fmt.Sprintf("fn%d", i%10), "pathkill")
+				_ = s.Marked(fmt.Sprintf("fn%d", (i+g)%10), "pathkill")
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < 10; i++ {
+		if !s.Marked(fmt.Sprintf("fn%d", i), "pathkill") {
+			t.Errorf("fn%d lost its mark", i)
+		}
+	}
+}

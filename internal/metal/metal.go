@@ -183,6 +183,39 @@ func (c *Checker) HasVarState(varName, val string) bool {
 	return false
 }
 
+// UsesAction reports whether any transition runs the named action
+// verb (directly; nested calls inside action arguments are rendering
+// helpers, not effects). The engine uses it to detect checkers that
+// write shared composition annotations (mark_fn).
+func (c *Checker) UsesAction(name string) bool {
+	for _, t := range c.Transitions {
+		for _, a := range t.Actions {
+			if a.Fn == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// UsesCallout reports whether any transition's pattern invokes the
+// named ${...} callout. The engine uses it to detect checkers that
+// read shared composition annotations (mc_fn_marked).
+func (c *Checker) UsesCallout(name string) bool {
+	found := false
+	for _, t := range c.Transitions {
+		pattern.Walk(t.Pat, func(p pattern.Pattern) {
+			if co, ok := p.(*pattern.Callout); ok && co.FnName == name {
+				found = true
+			}
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
 // String renders a summary of the checker.
 func (c *Checker) String() string {
 	var sb strings.Builder

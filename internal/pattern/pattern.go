@@ -566,6 +566,24 @@ func (EndOfPath) Match(ctx *Ctx, prior Bindings) (Bindings, bool) {
 // String implements Pattern.
 func (EndOfPath) String() string { return "$end_of_path$" }
 
+// Walk visits p and every subpattern in syntax order. The engine uses
+// it to discover which callouts a checker's patterns invoke (checker
+// composition dependencies).
+func Walk(p Pattern, visit func(Pattern)) {
+	if p == nil {
+		return
+	}
+	visit(p)
+	switch p := p.(type) {
+	case *And:
+		Walk(p.X, visit)
+		Walk(p.Y, visit)
+	case *Or:
+		Walk(p.X, visit)
+		Walk(p.Y, visit)
+	}
+}
+
 // HolesOf lists the hole names a pattern can bind, in no particular
 // order. The metal checker uses it to validate transitions.
 func HolesOf(p Pattern) map[string]bool {

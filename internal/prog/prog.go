@@ -4,6 +4,11 @@
 // ASTs, reassembles them, and constructs the CFG and call graph.
 // Functions with no callers are roots; recursive call chains are broken
 // arbitrarily (§6 step 2).
+//
+// A Program is immutable once Build returns: engines running
+// concurrently (DESIGN.md §5 "Engine parallelism") share one Program
+// and may only read it. Anything needing per-run mutable state must
+// live in the engine, never here.
 package prog
 
 import (

@@ -19,7 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
+	"runtime"
 
 	"repro/internal/cc"
 	"repro/internal/checkers"
@@ -52,6 +52,9 @@ type Analyzer struct {
 	// Marks lets callers pre-annotate function names (e.g. blocking
 	// functions for the block checker).
 	marks map[string][]string
+	// jobs is the worker count for parallel parsing and checker
+	// execution; 0 means runtime.GOMAXPROCS(0).
+	jobs int
 }
 
 // NewAnalyzer returns an analyzer with default options.
@@ -67,16 +70,41 @@ func NewAnalyzer() *Analyzer {
 // SetOptions replaces the engine options.
 func (a *Analyzer) SetOptions(o Options) { a.opts = o }
 
-// AddSource registers one C translation unit by name.
+// SetParallelism sets the number of workers used for pass-1 parsing
+// and concurrent checker execution. n <= 0 restores the default
+// (runtime.GOMAXPROCS). Any value yields bit-identical results; see
+// DESIGN.md §5 "Engine parallelism".
+func (a *Analyzer) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	a.jobs = n
+}
+
+func (a *Analyzer) parallelism() int {
+	if a.jobs > 0 {
+		return a.jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// AddSource registers one C translation unit by name, replacing any
+// previous source under the same name.
 func (a *Analyzer) AddSource(name, src string) { a.srcs[name] = src }
 
-// AddFile parses and registers a C file from disk.
+// AddFile registers a C file from disk under its (cleaned) path, so
+// same-named files from different directories stay distinct. A path
+// already registered is a duplicate and an error.
 func (a *Analyzer) AddFile(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	a.AddSource(filepath.Base(path), string(data))
+	name := filepath.Clean(path)
+	if _, dup := a.srcs[name]; dup {
+		return fmt.Errorf("duplicate source %s", name)
+	}
+	a.AddSource(name, string(data))
 	return nil
 }
 
@@ -165,21 +193,16 @@ type Result struct {
 	Engines map[string]*core.Engine
 }
 
-// Run parses everything, assembles the program, and applies each
-// loaded checker in order (sharing composition annotations).
+// Run parses everything (pass 1 fans out over a worker pool),
+// assembles the program, and applies each loaded checker (engines run
+// concurrently, ordered into phases around the composition barrier).
+// Results are merged deterministically in checker load order, so the
+// output is bit-identical at every parallelism level; see DESIGN.md §5
+// "Engine parallelism".
 func (a *Analyzer) Run() (*Result, error) {
-	files := append([]*cc.File(nil), a.files...)
-	names := make([]string, 0, len(a.srcs))
-	for n := range a.srcs {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		f, err := cc.ParseFile(n, a.srcs[n])
-		if err != nil {
-			return nil, fmt.Errorf("parse %s: %w", n, err)
-		}
-		files = append(files, f)
+	files, err := a.parseSources()
+	if err != nil {
+		return nil, err
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("no sources added")
@@ -189,21 +212,30 @@ func (a *Analyzer) Run() (*Result, error) {
 	}
 	p := prog.Build(files...)
 
+	// Pre-annotations apply before any checker runs; sorted order keeps
+	// the engine's input stream deterministic (the paper's caching model
+	// assumes deterministic extensions, §5.1).
+	for _, m := range a.sortedMarks() {
+		a.shared.Mark(m.name, m.key)
+	}
+
+	engines := make([]*core.Engine, len(a.checkers))
+	for i, c := range a.checkers {
+		engines[i] = core.NewEngineShared(p, c, a.opts, a.shared)
+	}
+	for _, phase := range core.PlanPhases(a.checkers) {
+		a.runPhase(engines, phase)
+	}
+
 	res := &Result{
 		Program:   p,
 		RuleStats: map[string]rank.RuleStat{},
 		Stats:     map[string]core.Stats{},
 		Engines:   map[string]*core.Engine{},
 	}
-	for _, c := range a.checkers {
-		en := core.NewEngineShared(p, c, a.opts, a.shared)
-		for name, keys := range a.marks {
-			for _, k := range keys {
-				en.MarkFn(name, k)
-			}
-		}
-		rs := en.Run()
-		res.Reports = append(res.Reports, rs.Reports...)
+	for i, c := range a.checkers {
+		en := engines[i]
+		res.Reports = append(res.Reports, en.Reports.Reports...)
 		for rule, rc := range en.RuleStats {
 			prev := res.RuleStats[rule]
 			prev.Rule = rule

@@ -1,0 +1,112 @@
+package mc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+)
+
+// This file is the parallel execution layer of Analyzer.Run: pass-1
+// parsing fans out over a worker pool, and checker engines run
+// concurrently within the phases planned by core.PlanPhases. The
+// scheduling never changes observable output — sources are parsed into
+// name-sorted slots, engines only share the read-only prog.Program and
+// the mutex-guarded core.Shared store, and the merge in Run reads
+// engines back in checker load order.
+
+// parseSources runs pass 1: every registered source is parsed, fanned
+// out over the worker pool. Pre-parsed ASTs (AddAST) pass through
+// untouched. Errors surface exactly as in a sequential name-ordered
+// parse: the failure for the first (sorted) offending name wins.
+func (a *Analyzer) parseSources() ([]*cc.File, error) {
+	files := append([]*cc.File(nil), a.files...)
+	names := make([]string, 0, len(a.srcs))
+	for n := range a.srcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	parsed := make([]*cc.File, len(names))
+	errs := make([]error, len(names))
+	workers := a.parallelism()
+	if workers > len(names) {
+		workers = len(names)
+	}
+	if workers > 1 {
+		idxCh := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idxCh {
+					parsed[i], errs[i] = cc.ParseFile(names[i], a.srcs[names[i]])
+				}
+			}()
+		}
+		for i := range names {
+			idxCh <- i
+		}
+		close(idxCh)
+		wg.Wait()
+	} else {
+		for i, n := range names {
+			parsed[i], errs[i] = cc.ParseFile(n, a.srcs[n])
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", names[i], err)
+		}
+	}
+	return append(files, parsed...), nil
+}
+
+// markEntry is one pre-annotation: MarkFunction(name, key).
+type markEntry struct {
+	name, key string
+}
+
+// sortedMarks flattens the mark map into a deterministic application
+// order: names sorted, keys in registration order per name. Ranging
+// over the map directly would hand marks to the engine in a different
+// order each run — the determinism hazard §5.1 forbids.
+func (a *Analyzer) sortedMarks() []markEntry {
+	names := make([]string, 0, len(a.marks))
+	for n := range a.marks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []markEntry
+	for _, n := range names {
+		for _, k := range a.marks[n] {
+			out = append(out, markEntry{name: n, key: k})
+		}
+	}
+	return out
+}
+
+// runPhase executes one phase's engines, at most a.parallelism() at a
+// time. Slots are acquired in load order, so -j 1 degenerates to the
+// exact sequential schedule.
+func (a *Analyzer) runPhase(engines []*core.Engine, phase []int) {
+	if len(phase) == 1 {
+		engines[phase[0]].Run()
+		return
+	}
+	sem := make(chan struct{}, a.parallelism())
+	var wg sync.WaitGroup
+	for _, i := range phase {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(en *core.Engine) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			en.Run()
+		}(engines[i])
+	}
+	wg.Wait()
+}
