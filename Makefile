@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-parallel clean
+.PHONY: check fmt vet build test race bench-parallel bench-incr clean
 
 check: fmt vet build race
 
@@ -29,6 +29,13 @@ race:
 bench-parallel:
 	$(GO) run ./cmd/mcbench -exp par
 
+# Incremental-replay series (DESIGN.md §8): warm-vs-cold live function
+# analyses per edit on the E11 workload; dies if warm output is not
+# byte-identical to cold or the one-file body tweak falls below the 5x
+# reduction bar. Writes BENCH_incremental.json.
+bench-incr:
+	$(GO) run ./cmd/mcbench -exp incr
+
 clean:
-	rm -f BENCH_parallel.json
+	rm -f BENCH_parallel.json BENCH_incremental.json
 	$(GO) clean ./...

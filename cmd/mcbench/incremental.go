@@ -1,0 +1,155 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/workload"
+	"repro/mc"
+)
+
+// expIncr measures the incremental-analysis tentpole: after an edit,
+// a warm run against the resident cache must produce byte-identical
+// ranked output to a fresh cold run while performing far fewer live
+// function analyses (>= 5x fewer for a one-file body tweak on the E11
+// tree). The series lands in BENCH_incremental.json.
+
+var incrBenchCheckers = []string{"free", "lock", "null", "leak", "interrupt"}
+
+type incrRun struct {
+	Edit          string  `json:"edit"`
+	ColdLiveFuncs int     `json:"cold_live_funcs"`
+	WarmLiveFuncs int     `json:"warm_live_funcs"`
+	Reduction     float64 `json:"reduction"`
+	UnitsReplayed int     `json:"units_replayed"`
+	UnitsLive     int     `json:"units_live"`
+	FilesReparsed int     `json:"files_reparsed"`
+	ColdSeconds   float64 `json:"cold_seconds"`
+	WarmSeconds   float64 `json:"warm_seconds"`
+	Output        string  `json:"output_sha256"`
+	Identical     bool    `json:"identical_to_cold"`
+}
+
+type incrBench struct {
+	Experiment string    `json:"experiment"`
+	Workload   string    `json:"workload"`
+	Checkers   []string  `json:"checkers"`
+	Jobs       int       `json:"jobs"`
+	Runs       []incrRun `json:"runs"`
+}
+
+// incrAnalyze runs the benchmark checker set over srcs, optionally
+// against a resident store, and returns the result, a digest of the
+// complete ranked output, and the wall-clock.
+func incrAnalyze(srcs map[string]string, store cache.Store) (*mc.Result, string, float64) {
+	a := mc.NewAnalyzer()
+	a.SetParallelism(jobsFlag)
+	for name, src := range srcs {
+		a.AddSource(name, src)
+	}
+	for _, name := range incrBenchCheckers {
+		if err := a.LoadBundledChecker(name); err != nil {
+			die(err)
+		}
+	}
+	if store != nil {
+		a.SetCacheStore(store)
+	}
+	start := time.Now()
+	res, err := a.Run()
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		die(err)
+	}
+	var sb strings.Builder
+	for _, r := range res.Ranked() {
+		sb.WriteString(r.Detailed())
+	}
+	for _, g := range res.Grouped() {
+		fmt.Fprintf(&sb, "%s %.3f %d\n", g.Rule, g.Z, len(g.Reports))
+	}
+	return res, fmt.Sprintf("%x", sha256.Sum256([]byte(sb.String()))), elapsed
+}
+
+func expIncr() {
+	srcs, _ := workload.MixedTree(4, 25, 2002)
+	bench := incrBench{
+		Experiment: "incremental-replay",
+		Workload:   "MixedTree(4,25,2002)",
+		Checkers:   incrBenchCheckers,
+		Jobs:       jobsFlag,
+	}
+
+	edits := []workload.Edit{
+		workload.TweakBody("tree_0.c"),
+		workload.PrependBanner("tree_1.c"),
+		workload.AppendBuggyFunc("tree_2.c", 1),
+	}
+
+	fmt.Println("edit                        cold-funcs  warm-funcs  reduction  units-replayed  identical")
+	for _, e := range edits {
+		// Fresh store, warmed by a cold run of the unedited tree.
+		store := cache.NewMemStore()
+		incrAnalyze(srcs, store)
+
+		edited := e.Apply(srcs)
+		warmRes, warmDigest, warmSec := incrAnalyze(edited, store)
+		_, coldDigest, coldSec := incrAnalyze(edited, nil)
+
+		// The cold baseline's live-analysis count comes from a cold
+		// cached run over the same edited tree (the plain run keeps no
+		// IncrStats).
+		coldCached, coldCachedDigest, _ := incrAnalyze(edited, cache.NewMemStore())
+		if coldCachedDigest != coldDigest {
+			die(fmt.Errorf("%s: cold cached output differs from plain cold output", e.Name))
+		}
+
+		coldLive := coldCached.Incr.FuncsAnalyzedLive
+		warmLive := warmRes.Incr.FuncsAnalyzedLive
+		reduction := 0.0
+		if warmLive > 0 {
+			reduction = float64(coldLive) / float64(warmLive)
+		}
+		run := incrRun{
+			Edit:          e.Name,
+			ColdLiveFuncs: coldLive,
+			WarmLiveFuncs: warmLive,
+			Reduction:     reduction,
+			UnitsReplayed: warmRes.Incr.UnitsReplayed,
+			UnitsLive:     warmRes.Incr.UnitsLive,
+			FilesReparsed: warmRes.Incr.FilesReparsed,
+			ColdSeconds:   coldSec,
+			WarmSeconds:   warmSec,
+			Output:        warmDigest,
+			Identical:     warmDigest == coldDigest,
+		}
+		bench.Runs = append(bench.Runs, run)
+		fmt.Printf("%-26s  %10d  %10d  %8.1fx  %14d  %v\n",
+			e.Name, coldLive, warmLive, reduction, run.UnitsReplayed, run.Identical)
+	}
+
+	for _, r := range bench.Runs {
+		if !r.Identical {
+			die(fmt.Errorf("%s: warm output differs from cold — replay broken", r.Edit))
+		}
+	}
+	// The acceptance bar: a one-file body tweak replays >= 5x fewer
+	// live function analyses than a cold run.
+	if head := bench.Runs[0]; head.Reduction < 5 {
+		die(fmt.Errorf("%s: reduction %.1fx below the 5x bar", head.Edit, head.Reduction))
+	}
+
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		die(err)
+	}
+	if err := os.WriteFile("BENCH_incremental.json", append(data, '\n'), 0o644); err != nil {
+		die(err)
+	}
+	fmt.Println("wrote BENCH_incremental.json")
+}

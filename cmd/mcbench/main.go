@@ -55,6 +55,7 @@ var experiments = []struct {
 	{"e11", "end-to-end: full checker suite precision/recall on a seeded tree", expE11},
 	{"e12", "§8 history: cross-version suppression isolates new bugs", expE12},
 	{"par", "engine parallelism: wall-clock vs -j on the E11 workload (writes BENCH_parallel.json)", expPar},
+	{"incr", "incremental replay: warm-vs-cold live analyses per edit on the E11 workload (writes BENCH_incremental.json)", expIncr},
 }
 
 // jobsFlag is the -j value; expPar adds it to its sweep, and 0 means

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -37,6 +38,8 @@ func main() {
 		marks        = flag.String("mark", "", "function annotations, e.g. might_sleep=blocking,panic=pathkill")
 		baseline     = flag.String("baseline", "", "history file: suppress reports recorded there; new reports are appended (§8 History)")
 		jobs         = flag.Int("j", 0, "parallel workers for parsing and checker execution (0 = GOMAXPROCS); output is identical at every level")
+		cacheDir     = flag.String("cache", "", "persist parsed ASTs and per-unit results here; warm re-runs replay unchanged work (DESIGN.md §8)")
+		exitCode     = flag.Bool("exit-code", false, "exit 1 if any non-suppressed report is emitted (errors exit 2)")
 	)
 	flag.Parse()
 
@@ -57,6 +60,11 @@ func main() {
 	opts.FPP = !*noFPP
 	a.SetOptions(opts)
 	a.SetParallelism(*jobs)
+	if *cacheDir != "" {
+		if err := a.SetCache(*cacheDir); err != nil {
+			fatal(err)
+		}
+	}
 
 	for _, path := range flag.Args() {
 		if *twoPass {
@@ -153,6 +161,9 @@ func main() {
 				fatal(err)
 			}
 		}
+		if *exitCode && len(res.Reports) > 0 {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -192,6 +203,15 @@ func main() {
 			fmt.Printf("checker %s: points=%d blocks=%d paths=%d pruned=%d cache-hits=%d fn-cache-hits=%d\n",
 				n, s.Points, s.Blocks, s.Paths, s.PrunedPaths, s.CacheHits, s.FuncCacheHits)
 		}
+		if in := res.Incr; in != nil {
+			fmt.Printf("cache: files reparsed=%d replayed=%d; units live=%d replayed=%d; funcs live=%d replayed=%d changed=%d invalidated=%d; store hits=%d misses=%d puts=%d\n",
+				in.FilesReparsed, in.FilesReplayed, in.UnitsLive, in.UnitsReplayed,
+				in.FuncsAnalyzedLive, in.FuncsAnalyzedReplayed, in.FuncsChanged, in.FuncsInvalidated,
+				in.CacheHits, in.CacheMisses, in.CachePuts)
+		}
+	}
+	if *exitCode && len(res.Reports) > 0 {
+		os.Exit(1)
 	}
 }
 
@@ -300,10 +320,37 @@ func appendBaseline(path string, reports []*mc.Report) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return atomicWrite(path, data)
 }
 
+// atomicWrite replaces path via a temp file in the same directory plus
+// rename, so a crash mid-write never leaves a truncated baseline (the
+// old file survives intact until the rename commits).
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// fatal reports a usage or environment error. Exit code 2 keeps these
+// distinct from -exit-code's "findings" exit 1.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "xgcc:", err)
-	os.Exit(1)
+	os.Exit(2)
 }

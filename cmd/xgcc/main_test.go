@@ -1,0 +1,185 @@
+package main
+
+// End-to-end CLI tests: build the xgcc binary once and drive it as a
+// subprocess, checking exit codes (-exit-code), the persistent cache
+// (-cache), and baseline atomicity.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const buggySrc = `void kfree(void *p);
+int use_after(int *p) {
+    kfree(p);
+    return *p;
+}
+`
+
+const cleanSrc = `int add(int a, int b) {
+    return a + b;
+}
+`
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+func xgccBin(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "xgcc-cli-*")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "xgcc")
+		out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput()
+		if err != nil {
+			buildErr = err
+			t.Logf("build output: %s", out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("build xgcc: %v", buildErr)
+	}
+	return binPath
+}
+
+// runXgcc runs the binary and returns combined output and exit code.
+func runXgcc(t *testing.T, dir string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(xgccBin(t), args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return string(out), ee.ExitCode()
+	}
+	t.Fatalf("run xgcc: %v", err)
+	return "", -1
+}
+
+func writeSrc(t *testing.T, dir, name, src string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestExitCodeFlag(t *testing.T) {
+	dir := t.TempDir()
+	buggy := writeSrc(t, dir, "buggy.c", buggySrc)
+	clean := writeSrc(t, dir, "clean.c", cleanSrc)
+
+	// Default: findings do not change the exit code.
+	out, code := runXgcc(t, dir, "-checker", "free", buggy)
+	if code != 0 || !strings.Contains(out, "after free") {
+		t.Errorf("default run: code %d, out %.200s", code, out)
+	}
+	// -exit-code: findings exit 1.
+	if _, code = runXgcc(t, dir, "-checker", "free", "-exit-code", buggy); code != 1 {
+		t.Errorf("-exit-code with findings: code %d", code)
+	}
+	// -exit-code on clean input exits 0.
+	if _, code = runXgcc(t, dir, "-checker", "free", "-exit-code", clean); code != 0 {
+		t.Errorf("-exit-code clean: code %d", code)
+	}
+	// -exit-code also applies on the JSON output path.
+	if _, code = runXgcc(t, dir, "-checker", "free", "-exit-code", "-json", buggy); code != 1 {
+		t.Errorf("-exit-code -json with findings: code %d", code)
+	}
+	// Usage and environment errors stay exit 2.
+	if _, code = runXgcc(t, dir, "-checker", "free"); code != 2 {
+		t.Errorf("no inputs: code %d", code)
+	}
+	if _, code = runXgcc(t, dir, "-checker", "no-such-checker", buggy); code != 2 {
+		t.Errorf("unknown checker: code %d", code)
+	}
+	if _, code = runXgcc(t, dir, "-checker", "free", filepath.Join(dir, "missing.c")); code != 2 {
+		t.Errorf("missing input: code %d", code)
+	}
+}
+
+func TestCacheFlagWarmRunIdentical(t *testing.T) {
+	dir := t.TempDir()
+	buggy := writeSrc(t, dir, "buggy.c", buggySrc)
+	cacheDir := filepath.Join(dir, "cache")
+
+	cold, code := runXgcc(t, dir, "-checker", "free,null", "-cache", cacheDir, buggy)
+	if code != 0 {
+		t.Fatalf("cold run: code %d, out %.300s", code, cold)
+	}
+	warm, code := runXgcc(t, dir, "-checker", "free,null", "-cache", cacheDir, buggy)
+	if code != 0 {
+		t.Fatalf("warm run: code %d", code)
+	}
+	if cold != warm {
+		t.Errorf("warm output differs from cold:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+	// -stats on a warm run reports the full replay.
+	stats, code := runXgcc(t, dir, "-checker", "free,null", "-cache", cacheDir, "-stats", buggy)
+	if code != 0 || !strings.Contains(stats, "cache: files reparsed=0") {
+		t.Errorf("warm -stats did not report a full replay: code %d, %.400s", code, stats)
+	}
+	// The cache directory persists sharded entries on disk.
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil || len(entries) == 0 {
+		t.Errorf("cache dir empty after runs: %v", err)
+	}
+}
+
+func TestBaselineSuppressionAndAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	buggy := writeSrc(t, dir, "buggy.c", buggySrc)
+	baseline := filepath.Join(dir, "baseline.json")
+
+	out1, code := runXgcc(t, dir, "-checker", "free", "-baseline", baseline, buggy)
+	if code != 0 || strings.Contains(out1, "0 reports") {
+		t.Fatalf("first baseline run: code %d, out %.200s", code, out1)
+	}
+	// Second run: everything recorded, so everything suppressed.
+	out2, code := runXgcc(t, dir, "-checker", "free", "-baseline", baseline, buggy)
+	if code != 0 || !strings.Contains(out2, "0 reports") {
+		t.Errorf("second baseline run not suppressed: code %d, out %.200s", code, out2)
+	}
+	// No temp files may survive the atomic rename.
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if strings.Contains(f.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", f.Name())
+		}
+	}
+}
+
+func TestAtomicWriteReplacesAndCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := atomicWrite(path, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "new" {
+		t.Errorf("read back %q, err %v", data, err)
+	}
+	files, _ := os.ReadDir(dir)
+	if len(files) != 1 {
+		t.Errorf("%d files left in dir, want 1", len(files))
+	}
+}

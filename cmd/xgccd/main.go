@@ -1,0 +1,79 @@
+// Command xgccd is the long-running xgcc analysis daemon: it keeps
+// the source tree, pass-1 ASTs, and per-unit analysis results
+// resident, so repeated analyses after small edits replay everything
+// the edit didn't touch (DESIGN.md §8).
+//
+// A typical session:
+//
+//	xgccd -addr :8745 -checkers free,lock,null &
+//	curl -s -X POST localhost:8745/analyze \
+//	    -d '{"files": {"drv.c": "void kfree(void *p); int f(int *p) { kfree(p); return *p; }"}}'
+//	curl -s localhost:8745/reports?format=text
+//	curl -s localhost:8745/metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/server"
+	"repro/mc"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8745", "listen address")
+		checkerList = flag.String("checkers", "free,lock,null", "comma-separated bundled checkers")
+		cacheDir    = flag.String("cache", "", "persist the analysis cache in this directory (default: in-memory)")
+		jobs        = flag.Int("j", 0, "analysis parallelism (0 = GOMAXPROCS)")
+		noFPP       = flag.Bool("no-fpp", false, "disable false path pruning")
+		noInter     = flag.Bool("no-inter", false, "disable interprocedural analysis")
+	)
+	var checkerFiles []string
+	flag.Func("checker-file", "load a metal checker from a file (repeatable)", func(path string) error {
+		checkerFiles = append(checkerFiles, path)
+		return nil
+	})
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "usage: xgccd [flags]\n")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	opts := mc.DefaultOptions()
+	opts.FPP = !*noFPP
+	opts.Interprocedural = !*noInter
+
+	cfg := server.Config{Options: &opts, Jobs: *jobs}
+	for _, name := range strings.Split(*checkerList, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			cfg.Checkers = append(cfg.Checkers, name)
+		}
+	}
+	for _, path := range checkerFiles {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatalf("xgccd: %v", err)
+		}
+		cfg.CheckerSources = append(cfg.CheckerSources, string(src))
+	}
+	if *cacheDir != "" {
+		ds, err := cache.NewDirStore(*cacheDir)
+		if err != nil {
+			log.Fatalf("xgccd: open cache: %v", err)
+		}
+		cfg.Store = ds
+	}
+
+	srv := server.New(cfg)
+	log.Printf("xgccd: listening on %s (checkers: %s)", *addr, *checkerList)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatalf("xgccd: %v", err)
+	}
+}

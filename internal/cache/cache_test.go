@@ -1,0 +1,148 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func TestKeyDistinguishesBoundaries(t *testing.T) {
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Error("length prefixing failed: boundary alias")
+	}
+	if Key("x") != Key("x") {
+		t.Error("key not deterministic")
+	}
+	if Key("x") == Key("y") {
+		t.Error("distinct parts collide")
+	}
+}
+
+func storeImpls(t *testing.T) map[string]Store {
+	t.Helper()
+	ds, err := NewDirStore(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"mem": NewMemStore(), "dir": ds}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	for name, s := range storeImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, ok := s.Get(Key("missing")); ok {
+				t.Error("hit on empty store")
+			}
+			key := Key("blob")
+			if err := s.Put(key, []byte("payload")); err != nil {
+				t.Fatal(err)
+			}
+			got, ok := s.Get(key)
+			if !ok || string(got) != "payload" {
+				t.Errorf("get = %q, %v", got, ok)
+			}
+			// Overwrite is idempotent.
+			if err := s.Put(key, []byte("payload")); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDirStoreAtomicNoTempLeftovers(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "c")
+	ds, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("k")
+	if err := ds.Put(key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	var tmps []string
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasPrefix(info.Name(), ".tmp-") {
+			tmps = append(tmps, path)
+		}
+		return nil
+	})
+	if len(tmps) > 0 {
+		t.Errorf("temp files left behind: %v", tmps)
+	}
+}
+
+func TestMetricsCounting(t *testing.T) {
+	var m Metrics
+	s := WithMetrics(NewMemStore(), &m)
+	s.Get(Key("a"))
+	s.Put(Key("a"), []byte("x"))
+	s.Get(Key("a"))
+	if m.Hits() != 1 || m.Misses() != 1 || m.Puts() != 1 {
+		t.Errorf("metrics = %d/%d/%d, want 1/1/1", m.Hits(), m.Misses(), m.Puts())
+	}
+}
+
+func TestUnitEntryRoundTrip(t *testing.T) {
+	e := &UnitEntry{
+		Roots: []RootReports{{
+			Root: "f.c\x00main",
+			Reports: []*report.Report{{
+				Checker: "free", Rule: "kfree", Msg: "use after free",
+				Func: "main", Vars: []string{"p"}, Conditionals: 2,
+				Trace: []string{"step one"},
+			}},
+		}},
+		Stats: core.Stats{Blocks: 7, Analyses: map[string]int{"main": 1}},
+		Rules: map[string]*core.RuleCount{"kfree": {Examples: 3, Violations: 1}},
+		Marks: []core.MarkEvent{{Name: "panic", Key: "pathkill"}},
+	}
+	data, err := EncodeUnit(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeUnit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Roots) != 1 || back.Roots[0].Root != e.Roots[0].Root {
+		t.Errorf("roots differ: %+v", back.Roots)
+	}
+	r := back.Roots[0].Reports[0]
+	if r.Msg != "use after free" || r.Conditionals != 2 || len(r.Trace) != 1 {
+		t.Errorf("report fields lost: %+v", r)
+	}
+	if back.Stats.Blocks != 7 || back.Stats.Analyses["main"] != 1 {
+		t.Errorf("stats lost: %+v", back.Stats)
+	}
+	if back.Rules["kfree"].Examples != 3 {
+		t.Errorf("rules lost: %+v", back.Rules)
+	}
+	if len(back.Marks) != 1 || back.Marks[0].Name != "panic" {
+		t.Errorf("marks lost: %+v", back.Marks)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	s := NewMemStore()
+	if LoadManifest(s, "cfg") != nil {
+		t.Error("manifest on empty store")
+	}
+	m := &Manifest{
+		Files: map[string]string{"a.c": "h1"},
+		Funcs: map[string]string{"a.c\x00f": "h2"},
+	}
+	if err := SaveManifest(s, "cfg", m); err != nil {
+		t.Fatal(err)
+	}
+	back := LoadManifest(s, "cfg")
+	if back == nil || back.Files["a.c"] != "h1" || back.Funcs["a.c\x00f"] != "h2" {
+		t.Errorf("manifest lost: %+v", back)
+	}
+	if LoadManifest(s, "other-cfg") != nil {
+		t.Error("manifest leaked across configurations")
+	}
+}

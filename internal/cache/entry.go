@@ -1,0 +1,99 @@
+package cache
+
+// Serialized entry shapes. Three kinds of entry live in the store:
+//
+//   - AST entries: raw cc.EmitFile bytes keyed by file name + source
+//     hash, so a warm run reads pass-1 output instead of re-parsing.
+//   - Unit entries: one checker's complete analysis output for one
+//     call-graph unit (report segments per root, stats, rule counts,
+//     marks, serialized summaries), keyed by checker + options +
+//     environment + visible marks + the unit's member-function hashes.
+//   - The manifest: the previous run's file and function hashes, used
+//     to compute changed/invalidated counts for stats and metrics
+//     (correctness never depends on it — content addressing alone
+//     decides reuse).
+
+import (
+	"encoding/json"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// RootReports is one root's report segment inside a unit entry. Root
+// is the prog.FuncID of the root function.
+type RootReports struct {
+	Root    string           `json:"root"`
+	Reports []*report.Report `json:"reports,omitempty"`
+}
+
+// UnitEntry is one checker's cached analysis of one call-graph unit:
+// everything needed to replay the unit's contribution to a run
+// without traversing it.
+type UnitEntry struct {
+	Roots     []RootReports              `json:"roots"`
+	Stats     core.Stats                 `json:"stats"`
+	Rules     map[string]*core.RuleCount `json:"rules,omitempty"`
+	Marks     []core.MarkEvent           `json:"marks,omitempty"`
+	Summaries *core.SummaryData          `json:"summaries,omitempty"`
+}
+
+// EncodeUnit serializes a unit entry.
+func EncodeUnit(e *UnitEntry) ([]byte, error) { return json.Marshal(e) }
+
+// DecodeUnit deserializes a unit entry.
+func DecodeUnit(data []byte) (*UnitEntry, error) {
+	var e UnitEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// Manifest records the file and function content hashes of the last
+// completed run under a given configuration.
+type Manifest struct {
+	// Files maps file name to source-content hash.
+	Files map[string]string `json:"files"`
+	// Funcs maps prog.FuncID to declaration content hash.
+	Funcs map[string]string `json:"funcs"`
+}
+
+// ManifestKey derives the store key for the manifest under one
+// analyzer configuration (checker set + options fingerprints).
+func ManifestKey(configFP string) string { return Key("manifest", configFP) }
+
+// LoadManifest reads the manifest for the configuration, or nil when
+// absent or unreadable (a cold run).
+func LoadManifest(s Store, configFP string) *Manifest {
+	data, ok := s.Get(ManifestKey(configFP))
+	if !ok {
+		return nil
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil
+	}
+	return &m
+}
+
+// SaveManifest writes the manifest for the configuration.
+func SaveManifest(s Store, configFP string, m *Manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return s.Put(ManifestKey(configFP), data)
+}
+
+// ASTKey derives the store key for a pass-1 emitted AST.
+func ASTKey(fileName, srcHash string) string { return Key("ast", fileName, srcHash) }
+
+// UnitKey derives the store key for a unit entry. checkerFP covers
+// the checker's source and load order; optsFP the core.Options;
+// envFP the position-independent declaration environment; marksFP the
+// visible composition marks at phase start; unitFP the sorted member
+// FuncID+hash list.
+func UnitKey(checkerFP, optsFP, envFP, marksFP, unitFP string) string {
+	return Key("unit", checkerFP, optsFP, envFP, marksFP, unitFP)
+}

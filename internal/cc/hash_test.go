@@ -1,0 +1,123 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+)
+
+const hashFixture = `
+typedef struct box { int *ptr; } box_t;
+int global_counter;
+static int file_stat;
+void kfree(void *p);
+int alpha(int *p, int n) {
+    if (n > 0)
+        kfree(p);
+    return n;
+}
+int beta(int a) {
+    return a + 1;
+}
+`
+
+func parseFixture(t *testing.T, name, src string) *File {
+	t.Helper()
+	f, err := ParseFile(name, src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func declsByName(f *File) map[string]Decl {
+	out := map[string]Decl{}
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *FuncDecl:
+			if d.Body != nil {
+				out[d.Name] = d
+			}
+		case *VarDecl:
+			out[d.Name] = d
+		}
+	}
+	return out
+}
+
+func TestHashDeclDeterministic(t *testing.T) {
+	a := declsByName(parseFixture(t, "h.c", hashFixture))
+	b := declsByName(parseFixture(t, "h.c", hashFixture))
+	for name := range a {
+		if got, want := HashDecl(a[name]), HashDecl(b[name]); got != want {
+			t.Errorf("%s: hash unstable across parses: %s vs %s", name, got, want)
+		}
+	}
+	if HashDecl(a["alpha"]) == HashDecl(a["beta"]) {
+		t.Error("distinct functions hash equal")
+	}
+}
+
+func TestHashDeclSensitivity(t *testing.T) {
+	base := declsByName(parseFixture(t, "h.c", hashFixture))
+
+	// A body edit changes the hash.
+	edited := strings.Replace(hashFixture, "return a + 1;", "return a + 2;", 1)
+	mod := declsByName(parseFixture(t, "h.c", edited))
+	if HashDecl(base["beta"]) == HashDecl(mod["beta"]) {
+		t.Error("body edit did not change hash")
+	}
+	if HashDecl(base["alpha"]) != HashDecl(mod["alpha"]) {
+		t.Error("unrelated function hash changed")
+	}
+
+	// A line shift changes the hash (positions are part of identity:
+	// replayed reports embed them).
+	shifted := declsByName(parseFixture(t, "h.c", "\n\n"+hashFixture))
+	if HashDecl(base["alpha"]) == HashDecl(shifted["alpha"]) {
+		t.Error("line shift did not change hash")
+	}
+}
+
+func TestEnvHashIgnoresBodiesAndShifts(t *testing.T) {
+	f1 := parseFixture(t, "h.c", hashFixture)
+	// Body edits and whole-file shifts leave the environment identical.
+	edited := strings.Replace(hashFixture, "return a + 1;", "return a - 1;", 1)
+	f2 := parseFixture(t, "h.c", "/* banner */\n"+edited)
+	if EnvHash([]*File{f1}) != EnvHash([]*File{f2}) {
+		t.Error("body edit or banner changed EnvHash")
+	}
+	// A new global changes it.
+	f3 := parseFixture(t, "h.c", hashFixture+"\nint another_global;\n")
+	if EnvHash([]*File{f1}) == EnvHash([]*File{f3}) {
+		t.Error("new global did not change EnvHash")
+	}
+	// A signature change (new parameter) changes it.
+	f4 := parseFixture(t, "h.c", strings.Replace(hashFixture, "int beta(int a)", "int beta(int a, int b)", 1))
+	if EnvHash([]*File{f1}) == EnvHash([]*File{f4}) {
+		t.Error("signature change did not change EnvHash")
+	}
+	// File identity matters (static scoping is per file).
+	f5 := parseFixture(t, "other.c", hashFixture)
+	if EnvHash([]*File{f1}) == EnvHash([]*File{f5}) {
+		t.Error("file rename did not change EnvHash")
+	}
+}
+
+func TestFuncSignatureStability(t *testing.T) {
+	a := parseFixture(t, "h.c", hashFixture)
+	b := parseFixture(t, "h.c", "\n"+strings.Replace(hashFixture, "return n;", "return n + 7;", 1))
+	var sa, sb string
+	for _, fd := range a.Funcs() {
+		if fd.Name == "alpha" {
+			sa = FuncSignature(fd)
+		}
+	}
+	for _, fd := range b.Funcs() {
+		if fd.Name == "alpha" {
+			sb = FuncSignature(fd)
+		}
+	}
+	if sa == "" || sa != sb {
+		t.Errorf("signature unstable: %q vs %q", sa, sb)
+	}
+}

@@ -121,6 +121,10 @@ type Engine struct {
 	Stats   Stats
 	// RuleStats feeds statistical ranking.
 	RuleStats map[string]*RuleCount
+	// MarkLog records the composition marks this engine emitted, in
+	// order. The incremental cache replays it so a warm run's later
+	// phases observe the same annotation store (DESIGN.md §8).
+	MarkLog []MarkEvent
 
 	shared    *Shared
 	funcs     map[*prog.Function]*funcInfo
@@ -191,8 +195,12 @@ func (en *Engine) RegisterAction(name string, fn ActionFunc) { en.actions[name] 
 // RegisterCallout installs a custom pattern callout.
 func (en *Engine) RegisterCallout(name string, fn pattern.CalloutFunc) { en.callouts[name] = fn }
 
-// MarkFn annotates a function name with a composition flag.
-func (en *Engine) MarkFn(name, key string) { en.shared.Mark(name, key) }
+// MarkFn annotates a function name with a composition flag. The mark
+// is also appended to the engine's MarkLog for cache replay.
+func (en *Engine) MarkFn(name, key string) {
+	en.MarkLog = append(en.MarkLog, MarkEvent{Name: name, Key: key})
+	en.shared.Mark(name, key)
+}
 
 // countRule accumulates an example or violation for a rule (§9).
 func (en *Engine) countRule(rule string, example bool) {
@@ -224,17 +232,7 @@ func (en *Engine) Analyses(name string) int { return en.Stats.Analyses[name] }
 // Run applies the checker to the whole program, starting a DFS at each
 // callgraph root (§2.1, §6).
 func (en *Engine) Run() *report.Set {
-	for _, root := range en.Prog.Roots {
-		st := &pathState{
-			sm:        &SM{GState: en.Checker.InitialGlobal()},
-			env:       fpp.NewEnv(),
-			fn:        root,
-			callStack: []*prog.Function{root},
-		}
-		en.Stats.Analyses[root.Name]++
-		en.funcInfo(root).Analyses++
-		en.traverseBlock(st, root.Graph.Entry)
-	}
+	en.RunRoots(en.Prog.Roots)
 	return en.Reports
 }
 

@@ -1,0 +1,234 @@
+package core
+
+// Incremental-analysis entry points (DESIGN.md §8): per-root report
+// segmentation, the mark log, annotation-store snapshots, and summary
+// serialization. The cache layer (internal/cache, mc) composes these:
+// a unit's cached entry stores the report segments its roots produced,
+// the marks its traversal emitted, and its serialized function
+// summaries, so a warm run can replay the unit without traversing it.
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/cfg"
+	"repro/internal/fpp"
+	"repro/internal/prog"
+	"repro/internal/report"
+)
+
+// RootRun is one call-graph root's traversal output: the reports the
+// DFS starting at that root added (deduplicated against everything the
+// engine emitted earlier, exactly as the plain Run loop would).
+type RootRun struct {
+	Root    *prog.Function
+	Reports []*report.Report
+}
+
+// RunRoots applies the checker to the given roots in order, recording
+// the report segment each root contributed. Running all of
+// Prog.Roots through RunRoots is behavior-identical to Run — Run is
+// implemented on top of it.
+func (en *Engine) RunRoots(roots []*prog.Function) []RootRun {
+	out := make([]RootRun, 0, len(roots))
+	for _, root := range roots {
+		before := len(en.Reports.Reports)
+		st := &pathState{
+			sm:        &SM{GState: en.Checker.InitialGlobal()},
+			env:       fpp.NewEnv(),
+			fn:        root,
+			callStack: []*prog.Function{root},
+		}
+		en.Stats.Analyses[root.Name]++
+		en.funcInfo(root).Analyses++
+		en.traverseBlock(st, root.Graph.Entry)
+		out = append(out, RootRun{Root: root, Reports: en.Reports.Reports[before:]})
+	}
+	return out
+}
+
+// MarkEvent records one composition mark (§3.2) emitted during
+// analysis, in emission order. Replaying a cached unit re-applies its
+// marks so later phases observe the same annotation store.
+type MarkEvent struct {
+	Name string
+	Key  string
+}
+
+// Snapshot renders the annotation store as a deterministic string
+// (sorted "name|key" lines). The incremental cache folds it into each
+// phase's cache key: a unit analyzed under different visible marks is
+// a different computation. Must not be called while engines are
+// running.
+func (s *Shared) Snapshot() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var lines []string
+	for name, keys := range s.FnMarks {
+		for k := range keys {
+			lines = append(lines, name+"|"+k)
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// ---------------------------------------------------------------------------
+// Summary serialization
+// ---------------------------------------------------------------------------
+
+// TupleData is a serialized state tuple. ObjExpr is rendered through
+// cc.ExprString and reparsed on import; Prov (per-path provenance) is
+// deliberately dropped — imported summaries serve display and warm
+// daemon state, never as live traversal caches, so reconstruction
+// material for report emission is not needed.
+type TupleData struct {
+	G       string `json:"g"`
+	Var     string `json:"var,omitempty"`
+	Obj     string `json:"obj,omitempty"`
+	Val     string `json:"val,omitempty"`
+	Data    int64  `json:"data,omitempty"`
+	ObjExpr string `json:"expr,omitempty"`
+}
+
+// EdgeData is a serialized summary edge (§5.2).
+type EdgeData struct {
+	From TupleData `json:"from"`
+	To   TupleData `json:"to"`
+}
+
+// BlockSummaryData serializes one block's caches: the block summary,
+// add edges, global-instance edges, and the suffix summary (§6.2).
+// The FPP fingerprint refinement (fpSeen) is traversal-internal and
+// not serialized.
+type BlockSummaryData struct {
+	Block    int        `json:"block"`
+	Trans    []EdgeData `json:"trans,omitempty"`
+	Adds     []EdgeData `json:"adds,omitempty"`
+	GState   []EdgeData `json:"gstate,omitempty"`
+	SfxTrans []EdgeData `json:"sfx_trans,omitempty"`
+	SfxAdds  []EdgeData `json:"sfx_adds,omitempty"`
+}
+
+// FuncSummaryData serializes one function's analysis cache. Func is
+// the prog.FuncID.
+type FuncSummaryData struct {
+	Func     string             `json:"func"`
+	Analyses int                `json:"analyses,omitempty"`
+	Blocks   []BlockSummaryData `json:"blocks,omitempty"`
+}
+
+// SummaryData is the serializable portion of an engine's per-function
+// caches for a set of functions.
+type SummaryData struct {
+	Funcs []FuncSummaryData `json:"funcs,omitempty"`
+}
+
+func tupleData(t Tuple) TupleData {
+	td := TupleData{G: t.G, Var: t.Var, Obj: t.Obj, Val: t.Val, Data: t.Data}
+	if t.ObjExpr != nil {
+		td.ObjExpr = cc.ExprString(t.ObjExpr)
+	}
+	return td
+}
+
+func (td TupleData) tuple() Tuple {
+	t := Tuple{G: td.G, Var: td.Var, Obj: td.Obj, Val: td.Val, Data: td.Data}
+	if td.ObjExpr != "" {
+		if e, err := cc.ParseExprString(td.ObjExpr); err == nil {
+			t.ObjExpr = e
+		}
+	}
+	return t
+}
+
+func edgeData(s *edgeSet) []EdgeData {
+	edges := s.all()
+	if len(edges) == 0 {
+		return nil
+	}
+	out := make([]EdgeData, len(edges))
+	for i, e := range edges {
+		out[i] = EdgeData{From: tupleData(e.From), To: tupleData(e.To)}
+	}
+	return out
+}
+
+func importEdges(s *edgeSet, data []EdgeData) {
+	for _, ed := range data {
+		s.add(edge{From: ed.From.tuple(), To: ed.To.tuple()})
+	}
+}
+
+// ExportSummaries serializes the engine's per-function caches for the
+// given functions (blocks in CFG order, edges in deterministic
+// edgeSet order). Functions the engine never touched export with no
+// blocks.
+func (en *Engine) ExportSummaries(fns []*prog.Function) *SummaryData {
+	sd := &SummaryData{}
+	for _, fn := range fns {
+		fd := FuncSummaryData{Func: prog.FuncID(fn)}
+		if fi, ok := en.funcs[fn]; ok {
+			fd.Analyses = fi.Analyses
+			for _, b := range fn.Graph.Blocks {
+				bi, ok := fi.blocks[b]
+				if !ok {
+					continue
+				}
+				bd := BlockSummaryData{
+					Block:    b.ID,
+					Trans:    edgeData(bi.trans),
+					Adds:     edgeData(bi.adds),
+					GState:   edgeData(bi.gstate),
+					SfxTrans: edgeData(bi.sfxTrans),
+					SfxAdds:  edgeData(bi.sfxAdds),
+				}
+				if bd.Trans == nil && bd.Adds == nil && bd.GState == nil &&
+					bd.SfxTrans == nil && bd.SfxAdds == nil {
+					continue
+				}
+				fd.Blocks = append(fd.Blocks, bd)
+			}
+		}
+		sd.Funcs = append(sd.Funcs, fd)
+	}
+	return sd
+}
+
+// ImportSummaries loads serialized summaries into the engine's
+// per-function caches, keyed by FuncID against the engine's program.
+// Imported state is for inspection (supergraph rendering, daemon
+// residency) — the incremental runner never lets it feed a live
+// traversal, which would perturb path exploration relative to a cold
+// run.
+func (en *Engine) ImportSummaries(sd *SummaryData) {
+	byID := map[string]*prog.Function{}
+	for _, fn := range en.Prog.All {
+		byID[prog.FuncID(fn)] = fn
+	}
+	for _, fd := range sd.Funcs {
+		fn := byID[fd.Func]
+		if fn == nil {
+			continue
+		}
+		byBlock := map[int]*cfg.Block{}
+		for _, b := range fn.Graph.Blocks {
+			byBlock[b.ID] = b
+		}
+		fi := en.funcInfo(fn)
+		fi.Analyses += fd.Analyses
+		for _, bd := range fd.Blocks {
+			b := byBlock[bd.Block]
+			if b == nil {
+				continue
+			}
+			bi := fi.info(b)
+			importEdges(bi.trans, bd.Trans)
+			importEdges(bi.adds, bd.Adds)
+			importEdges(bi.gstate, bd.GState)
+			importEdges(bi.sfxTrans, bd.SfxTrans)
+			importEdges(bi.sfxAdds, bd.SfxAdds)
+		}
+	}
+}

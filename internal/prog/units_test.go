@@ -1,0 +1,122 @@
+package prog
+
+import (
+	"testing"
+)
+
+// Two independent components: {a -> b -> c} and {x <-> y (cycle), z -> y}.
+const unitsSrc = `
+void b(void);
+void c(void);
+void a(void) { b(); }
+void b(void) { c(); }
+void c(void) { }
+
+void y(void);
+void x(void) { y(); }
+void y(void) { x(); }
+void z(void) { y(); }
+`
+
+func buildUnits(t *testing.T) *Program {
+	t.Helper()
+	p, err := BuildSource(map[string]string{"u.c": unitsSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestUnitsPartition(t *testing.T) {
+	p := buildUnits(t)
+	units := p.Units()
+	if len(units) != 2 {
+		t.Fatalf("got %d units, want 2", len(units))
+	}
+	// Every function appears in exactly one unit.
+	seen := map[*Function]int{}
+	for _, u := range units {
+		for _, fn := range u.Funcs {
+			seen[fn]++
+		}
+	}
+	if len(seen) != len(p.All) {
+		t.Errorf("units cover %d funcs, program has %d", len(seen), len(p.All))
+	}
+	for fn, n := range seen {
+		if n != 1 {
+			t.Errorf("%s appears in %d units", fn.Name, n)
+		}
+	}
+	// Concatenating unit roots in unit order reproduces Program.Roots.
+	var cat []*Function
+	last := -1
+	for _, u := range units {
+		if u.FirstRoot <= last {
+			t.Errorf("units out of order: FirstRoot %d after %d", u.FirstRoot, last)
+		}
+		last = u.FirstRoot
+		cat = append(cat, u.Roots...)
+	}
+	if len(cat) != len(p.Roots) {
+		t.Fatalf("unit roots total %d, program has %d", len(cat), len(p.Roots))
+	}
+	for i := range cat {
+		if cat[i] != p.Roots[i] {
+			t.Errorf("root %d: unit order gives %s, program has %s", i, cat[i].Name, p.Roots[i].Name)
+		}
+	}
+}
+
+func TestDirtyClosure(t *testing.T) {
+	p := buildUnits(t)
+	name := func(s string) *Function { return p.Lookup(s) }
+
+	// Editing c dirties c, b, a — not the x/y/z component.
+	dirty := p.DirtyClosure([]*Function{name("c")})
+	for _, want := range []string{"a", "b", "c"} {
+		if !dirty[name(want)] {
+			t.Errorf("edit c: %s not dirty", want)
+		}
+	}
+	for _, not := range []string{"x", "y", "z"} {
+		if dirty[name(not)] {
+			t.Errorf("edit c: %s wrongly dirty", not)
+		}
+	}
+
+	// Editing a leaf root dirties only itself.
+	dirty = p.DirtyClosure([]*Function{name("a")})
+	if len(dirty) != 1 || !dirty[name("a")] {
+		t.Errorf("edit a: dirty set wrong: %v", dirty)
+	}
+
+	// Cycles terminate and pull in callers of the cycle.
+	dirty = p.DirtyClosure([]*Function{name("x")})
+	for _, want := range []string{"x", "y", "z"} {
+		if !dirty[name(want)] {
+			t.Errorf("edit x: %s not dirty", want)
+		}
+	}
+	if len(dirty) != 3 {
+		t.Errorf("edit x: %d dirty, want 3", len(dirty))
+	}
+}
+
+func TestFuncIDDisambiguatesStatics(t *testing.T) {
+	p, err := BuildSource(map[string]string{
+		"one.c": "static void helper(void) { }\nvoid r1(void) { helper(); }",
+		"two.c": "static void helper(void) { }\nvoid r2(void) { helper(); }",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, fn := range p.All {
+		id := FuncID(fn)
+		if ids[id] {
+			t.Errorf("duplicate FuncID %q", id)
+		}
+		ids[id] = true
+	}
+}

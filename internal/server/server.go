@@ -1,0 +1,348 @@
+// Package server is the xgccd analysis daemon: a long-running HTTP
+// service that keeps sources and the incremental analysis cache
+// resident across requests (DESIGN.md §8). Clients push file edits
+// with POST /analyze; unchanged work replays from the resident store,
+// so steady-state requests cost roughly the dirty closure of the
+// edit, not the whole tree.
+//
+//	POST /analyze  {"files": {"a.c": "..."}, "remove": [], "reset": false}
+//	GET  /reports  ?rank=generic|z  ?format=json|text
+//	GET  /stats
+//	GET  /metrics  (Prometheus text format)
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/mc"
+)
+
+// Config fixes the analysis configuration for the daemon's lifetime;
+// per-request configuration would defeat the cache (every option is
+// part of the cache key).
+type Config struct {
+	// Bundled checker names to load (default: free, lock, null).
+	Checkers []string
+	// Extra checkers given as metal source text.
+	CheckerSources []string
+	// Engine options; zero value means mc.DefaultOptions().
+	Options *mc.Options
+	// Jobs is the analysis parallelism; 0 = GOMAXPROCS.
+	Jobs int
+	// Store is the resident cache; nil = a fresh in-memory store.
+	Store cache.Store
+}
+
+// Server is the daemon state. All fields behind mu: the source tree,
+// the last result, and cumulative counters. The store is internally
+// synchronized and shared across requests — that is the residency.
+type Server struct {
+	cfg   Config
+	store cache.Store
+
+	mu       sync.Mutex
+	srcs     map[string]string
+	last     *mc.Result
+	lastIncr *mc.IncrStats
+	requests int64
+	analyses int64
+	failures int64
+}
+
+// New builds a daemon from the configuration.
+func New(cfg Config) *Server {
+	if len(cfg.Checkers) == 0 && len(cfg.CheckerSources) == 0 {
+		cfg.Checkers = []string{"free", "lock", "null"}
+	}
+	store := cfg.Store
+	if store == nil {
+		store = cache.NewMemStore()
+	}
+	return &Server{cfg: cfg, store: store, srcs: map[string]string{}}
+}
+
+// newAnalyzer assembles a fresh analyzer over the resident tree and
+// store. Analyzer construction is cheap; all heavy state (parsed
+// ASTs, unit results) lives in the store.
+func (s *Server) newAnalyzer() (*mc.Analyzer, error) {
+	a := mc.NewAnalyzer()
+	if s.cfg.Options != nil {
+		a.SetOptions(*s.cfg.Options)
+	}
+	a.SetParallelism(s.cfg.Jobs)
+	for _, name := range s.cfg.Checkers {
+		if err := a.LoadBundledChecker(name); err != nil {
+			return nil, err
+		}
+	}
+	for _, src := range s.cfg.CheckerSources {
+		if err := a.LoadChecker(src); err != nil {
+			return nil, err
+		}
+	}
+	for name, src := range s.srcs {
+		a.AddSource(name, src)
+	}
+	a.SetCacheStore(s.store)
+	return a, nil
+}
+
+// AnalyzeRequest is the POST /analyze body. Files merge into the
+// resident tree (same name replaces), Remove drops files, Reset
+// clears the tree first. An empty request re-analyzes the resident
+// tree as-is.
+type AnalyzeRequest struct {
+	Files  map[string]string `json:"files,omitempty"`
+	Remove []string          `json:"remove,omitempty"`
+	Reset  bool              `json:"reset,omitempty"`
+}
+
+// AnalyzeResponse summarizes one analysis run.
+type AnalyzeResponse struct {
+	Files       int           `json:"files"`
+	Reports     int           `json:"reports"`
+	Ranked      []ReportJSON  `json:"ranked"`
+	Incr        *mc.IncrStats `json:"incr"`
+	ElapsedNano int64         `json:"elapsed_nanos"`
+}
+
+// ReportJSON is one rendered report.
+type ReportJSON struct {
+	Pos     string `json:"pos"`
+	Checker string `json:"checker"`
+	Rule    string `json:"rule,omitempty"`
+	Func    string `json:"func"`
+	Class   string `json:"class,omitempty"`
+	Msg     string `json:"msg"`
+	Text    string `json:"text"`
+}
+
+func reportJSON(r *report.Report) ReportJSON {
+	return ReportJSON{
+		Pos:     r.Pos.String(),
+		Checker: r.Checker,
+		Rule:    r.Rule,
+		Func:    r.Func,
+		Class:   string(r.Class),
+		Msg:     r.Msg,
+		Text:    r.String(),
+	}
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/reports", s.handleReports)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req AnalyzeRequest
+	if r.Body != nil {
+		dec := json.NewDecoder(r.Body)
+		if err := dec.Decode(&req); err != nil && err.Error() != "EOF" {
+			s.failures++
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	// Stage the tree change; commit only after a successful run, so a
+	// request with unparseable C doesn't poison the resident tree.
+	next := map[string]string{}
+	if !req.Reset {
+		for name, src := range s.srcs {
+			next[name] = src
+		}
+	}
+	for _, name := range req.Remove {
+		delete(next, name)
+	}
+	for name, src := range req.Files {
+		next[name] = src
+	}
+	if len(next) == 0 {
+		s.failures++
+		http.Error(w, "no sources resident", http.StatusBadRequest)
+		return
+	}
+	prev := s.srcs
+	s.srcs = next
+
+	a, err := s.newAnalyzer()
+	if err != nil {
+		s.srcs = prev
+		s.failures++
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	t0 := time.Now()
+	res, err := a.Run()
+	if err != nil {
+		s.srcs = prev
+		s.failures++
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	s.analyses++
+	s.last = res
+	s.lastIncr = res.Incr
+
+	resp := AnalyzeResponse{
+		Files:       len(s.srcs),
+		Reports:     len(res.Reports),
+		Incr:        res.Incr,
+		ElapsedNano: time.Since(t0).Nanoseconds(),
+	}
+	for _, rep := range res.Ranked() {
+		resp.Ranked = append(resp.Ranked, reportJSON(rep))
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.last == nil {
+		http.Error(w, "no analysis yet", http.StatusNotFound)
+		return
+	}
+	var ranked []*report.Report
+	if r.URL.Query().Get("rank") == "z" {
+		ranked = s.last.ZRanked()
+	} else {
+		ranked = s.last.Ranked()
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, rep := range ranked {
+			fmt.Fprintln(w, rep)
+		}
+		return
+	}
+	out := make([]ReportJSON, 0, len(ranked))
+	for _, rep := range ranked {
+		out = append(out, reportJSON(rep))
+	}
+	writeJSON(w, out)
+}
+
+// StatsResponse is the GET /stats body.
+type StatsResponse struct {
+	Requests int64                 `json:"requests"`
+	Analyses int64                 `json:"analyses"`
+	Failures int64                 `json:"failures"`
+	Files    int                   `json:"files"`
+	Reports  int                   `json:"reports"`
+	Incr     *mc.IncrStats         `json:"incr,omitempty"`
+	Checkers map[string]core.Stats `json:"checkers,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	resp := StatsResponse{
+		Requests: s.requests,
+		Analyses: s.analyses,
+		Failures: s.failures,
+		Files:    len(s.srcs),
+		Incr:     s.lastIncr,
+	}
+	if s.last != nil {
+		resp.Reports = len(s.last.Reports)
+		resp.Checkers = s.last.Stats
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var sb strings.Builder
+	counter := func(name string, v int64, help string) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		fmt.Fprintf(&sb, "%s %d\n", name, v)
+	}
+	gauge := func(name string, v float64, help string) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		fmt.Fprintf(&sb, "%s %g\n", name, v)
+	}
+	counter("xgccd_requests_total", s.requests, "HTTP requests served")
+	counter("xgccd_analyses_total", s.analyses, "successful analysis runs")
+	counter("xgccd_failures_total", s.failures, "failed requests")
+	gauge("xgccd_resident_files", float64(len(s.srcs)), "sources in the resident tree")
+	if s.last != nil {
+		gauge("xgccd_reports", float64(len(s.last.Reports)), "reports in the last run")
+	}
+	if in := s.lastIncr; in != nil {
+		counter("xgccd_cache_hits_total", in.CacheHits, "store hits in the last run")
+		counter("xgccd_cache_misses_total", in.CacheMisses, "store misses in the last run")
+		counter("xgccd_cache_puts_total", in.CachePuts, "store writes in the last run")
+		gauge("xgccd_funcs_changed", float64(in.FuncsChanged), "functions whose content changed in the last run")
+		gauge("xgccd_funcs_invalidated", float64(in.FuncsInvalidated), "changed functions plus transitive callers")
+		gauge("xgccd_funcs_analyzed_live", float64(in.FuncsAnalyzedLive), "function analyses performed live")
+		gauge("xgccd_funcs_analyzed_replayed", float64(in.FuncsAnalyzedReplayed), "function analyses replayed from cache")
+		gauge("xgccd_units_live", float64(in.UnitsLive), "units analyzed live")
+		gauge("xgccd_units_replayed", float64(in.UnitsReplayed), "units replayed from cache")
+		gauge("xgccd_files_reparsed", float64(in.FilesReparsed), "files re-parsed")
+		gauge("xgccd_files_replayed", float64(in.FilesReplayed), "files replayed from the AST cache")
+		gauge("xgccd_phase_parse_seconds", float64(in.ParseNanos)/1e9, "pass-1 wall time")
+		gauge("xgccd_phase_build_seconds", float64(in.BuildNanos)/1e9, "program assembly wall time")
+		gauge("xgccd_phase_analyze_seconds", float64(in.AnalyzeNanos)/1e9, "checker execution wall time")
+		gauge("xgccd_phase_merge_seconds", float64(in.MergeNanos)/1e9, "result merge wall time")
+	}
+	w.Write([]byte(sb.String()))
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// SortedFiles returns the resident file names (tests and logs).
+func (s *Server) SortedFiles() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.srcs))
+	for n := range s.srcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

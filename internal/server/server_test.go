@@ -1,0 +1,171 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func postAnalyze(t *testing.T, ts *httptest.Server, req AnalyzeRequest) AnalyzeResponse {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		n, _ := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		t.Fatalf("analyze: status %d: %s", resp.StatusCode, sb.String())
+	}
+	var out AnalyzeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, sb.String()
+}
+
+func TestDaemonSession(t *testing.T) {
+	srv := New(Config{Checkers: []string{"free", "lock", "null", "leak", "interrupt"}, Jobs: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Reports before any analysis: 404.
+	if code, _ := getBody(t, ts.URL+"/reports"); code != http.StatusNotFound {
+		t.Errorf("reports before analysis: status %d", code)
+	}
+
+	// Cold analyze of the whole tree.
+	srcs, _ := workload.MixedTree(3, 10, 2002)
+	cold := postAnalyze(t, ts, AnalyzeRequest{Files: srcs})
+	if cold.Reports == 0 {
+		t.Fatal("cold run found no reports")
+	}
+	if cold.Incr == nil || cold.Incr.UnitsReplayed != 0 {
+		t.Fatalf("cold run incr stats wrong: %+v", cold.Incr)
+	}
+
+	// Push one edited file: most units replay, output count identical
+	// shape (a body tweak adds no bug).
+	edited := workload.TweakBody("tree_0.c").Apply(srcs)
+	warm := postAnalyze(t, ts, AnalyzeRequest{Files: map[string]string{"tree_0.c": edited["tree_0.c"]}})
+	if warm.Reports != cold.Reports {
+		t.Errorf("warm reports = %d, cold = %d", warm.Reports, cold.Reports)
+	}
+	if warm.Incr.UnitsReplayed == 0 {
+		t.Error("warm run replayed nothing")
+	}
+	if warm.Incr.FuncsAnalyzedLive >= cold.Incr.FuncsAnalyzedLive {
+		t.Errorf("warm live analyses %d not below cold %d",
+			warm.Incr.FuncsAnalyzedLive, cold.Incr.FuncsAnalyzedLive)
+	}
+	if warm.Incr.FilesReplayed == 0 {
+		t.Error("warm run re-parsed every file")
+	}
+
+	// Reports endpoint: json and text, generic and z ranking.
+	code, body := getBody(t, ts.URL+"/reports")
+	if code != http.StatusOK || !strings.Contains(body, "\"pos\"") {
+		t.Errorf("reports json: %d %.120s", code, body)
+	}
+	code, body = getBody(t, ts.URL+"/reports?format=text&rank=z")
+	if code != http.StatusOK || !strings.Contains(body, "use") && !strings.Contains(body, "free") {
+		t.Errorf("reports text: %d %.120s", code, body)
+	}
+
+	// Stats endpoint.
+	code, body = getBody(t, ts.URL+"/stats")
+	if code != http.StatusOK || !strings.Contains(body, "\"analyses\": 2") {
+		t.Errorf("stats: %d %.200s", code, body)
+	}
+
+	// Metrics endpoint: Prometheus text with the headline series.
+	code, body = getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	for _, want := range []string{
+		"xgccd_requests_total",
+		"xgccd_cache_hits_total",
+		"xgccd_funcs_invalidated",
+		"xgccd_units_replayed",
+		"xgccd_phase_analyze_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+
+	// Remove a file; the tree shrinks and analysis still succeeds.
+	rm := postAnalyze(t, ts, AnalyzeRequest{Remove: []string{"tree_2.c"}})
+	if rm.Files != 2 {
+		t.Errorf("after remove: %d files", rm.Files)
+	}
+}
+
+func TestDaemonRejectsBadRequests(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// GET /analyze is a method error.
+	if code, _ := getBody(t, ts.URL+"/analyze"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET analyze: %d", code)
+	}
+	// Empty tree is a 400.
+	body, _ := json.Marshal(AnalyzeRequest{})
+	resp, err := http.Post(ts.URL+"/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty analyze: %d", resp.StatusCode)
+	}
+	// Unparseable C is a 422, and the daemon survives it.
+	r2 := postJSONStatus(t, ts.URL+"/analyze", `{"files": {"bad.c": "int ("}}`)
+	if r2 != http.StatusUnprocessableEntity {
+		t.Errorf("bad C: %d", r2)
+	}
+	r3 := postJSONStatus(t, ts.URL+"/analyze", `{"files": {"ok.c": "void f(void) { }"}}`)
+	if r3 != http.StatusOK {
+		t.Errorf("after bad C, good C: %d", r3)
+	}
+}
+
+func postJSONStatus(t *testing.T, url, body string) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}

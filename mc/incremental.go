@@ -1,0 +1,488 @@
+package mc
+
+// Incremental analysis (DESIGN.md §8): a cache-aware Run path that
+// reuses pass-1 ASTs and whole-unit analysis results across runs.
+//
+// The unit of reuse is a weakly-connected component of the call graph
+// (prog.Units): the engine's per-function state never crosses unit
+// boundaries, so running each unit in a fresh engine and merging the
+// per-root report segments in global root order reproduces the plain
+// shared-engine output byte for byte. A unit entry is keyed by
+// everything its analysis can observe — checker source, core.Options,
+// the position-independent declaration environment, the composition
+// marks visible at its phase start, and the content hashes of its
+// member functions — so invalidation is implicit: an edit re-keys the
+// changed functions' units and every untouched unit replays from
+// cache.
+//
+// Three kinds of checker need coarser handling:
+//   - checkers with custom Go callouts: native code is invisible to
+//     the source fingerprint, so they always run live;
+//   - self-coupled checkers (both mark_fn and mc_fn_marked): their
+//     own marks flow across units within one run, so they cache as a
+//     single whole-program unit;
+//   - any checker when Options.MaxBlocks > 0: the traversal budget is
+//     engine-global, so per-unit engines would diverge from the plain
+//     path; they also fall back to a single whole-program unit.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/prog"
+	"repro/internal/rank"
+)
+
+// SetCache enables the persistent analysis cache backed by a
+// directory (created if needed). Warm re-runs replay unchanged work
+// from it; output is byte-identical to a cold run.
+func (a *Analyzer) SetCache(dir string) error {
+	ds, err := cache.NewDirStore(dir)
+	if err != nil {
+		return err
+	}
+	a.SetCacheStore(ds)
+	return nil
+}
+
+// SetCacheStore enables the analysis cache on an arbitrary store
+// (e.g. cache.NewMemStore() for a resident daemon). A nil store
+// disables caching.
+func (a *Analyzer) SetCacheStore(s cache.Store) {
+	if s == nil {
+		a.cacheStore = nil
+		a.cacheMetrics = nil
+		return
+	}
+	a.cacheMetrics = &cache.Metrics{}
+	a.cacheStore = cache.WithMetrics(s, a.cacheMetrics)
+}
+
+// IncrStats reports what the cache-aware run did: per-phase wall
+// times, replay-vs-live volumes, the manifest diff, and store
+// traffic. It is the daemon's /metrics feed and the mcbench incr
+// experiment's measurement.
+type IncrStats struct {
+	// Wall-clock nanoseconds per pipeline phase.
+	ParseNanos   int64 `json:"parse_nanos"`
+	BuildNanos   int64 `json:"build_nanos"`
+	AnalyzeNanos int64 `json:"analyze_nanos"`
+	MergeNanos   int64 `json:"merge_nanos"`
+
+	// Pass-1 reuse.
+	FilesReparsed int `json:"files_reparsed"`
+	FilesReplayed int `json:"files_replayed"`
+
+	// Unit reuse, counted per (checker, unit) pair.
+	UnitsLive     int `json:"units_live"`
+	UnitsReplayed int `json:"units_replayed"`
+
+	// Function analyses (traversal starts) performed live versus
+	// replayed from cache — the experiment's headline ratio.
+	FuncsAnalyzedLive     int `json:"funcs_analyzed_live"`
+	FuncsAnalyzedReplayed int `json:"funcs_analyzed_replayed"`
+
+	// Manifest diff against the previous run under this
+	// configuration: functions whose content hash changed (or are
+	// new), and the size of their transitive-caller closure.
+	FuncsChanged     int `json:"funcs_changed"`
+	FuncsInvalidated int `json:"funcs_invalidated"`
+
+	// Store traffic.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CachePuts   int64 `json:"cache_puts"`
+}
+
+// unitTask is one (checker, unit) work item in a phase.
+type unitTask struct {
+	ci    int
+	funcs []*prog.Function
+	roots []*prog.Function
+	key   string           // "" = uncacheable, always live
+	entry *cache.UnitEntry // non-nil = replay
+	eng   *core.Engine     // set after a live run
+	runs  []core.RootRun   // the live run's per-root report segments
+}
+
+// runCached is Run with the cache enabled.
+func (a *Analyzer) runCached() (*Result, error) {
+	incr := &IncrStats{}
+
+	t0 := time.Now()
+	files, err := a.parseCachedSources(incr)
+	if err != nil {
+		return nil, err
+	}
+	incr.ParseNanos = time.Since(t0).Nanoseconds()
+
+	t0 = time.Now()
+	p := prog.Build(files...)
+	units := p.Units()
+
+	// Fingerprints. optsFP covers every engine switch; envFP the
+	// position-independent declaration environment (types, globals,
+	// signatures) every unit's analysis consults; funcHash the full
+	// emitted content (positions included — reports embed them).
+	optsFP := optionsFingerprint(a.opts)
+	envFP := cc.EnvHash(p.Files)
+	funcHash := map[*prog.Function]string{}
+	for _, fn := range p.All {
+		funcHash[fn] = cc.HashDecl(fn.Decl)
+	}
+	configFP := a.configFingerprint(optsFP)
+
+	// Manifest diff: invalidation accounting for stats and /metrics.
+	// Correctness never depends on it — content-addressed keys alone
+	// decide reuse.
+	manifest := &cache.Manifest{Files: map[string]string{}, Funcs: map[string]string{}}
+	for _, f := range p.Files {
+		if src, ok := a.srcs[f.Name]; ok {
+			manifest.Files[f.Name] = cc.HashBytes([]byte(src))
+		} else {
+			manifest.Files[f.Name] = cc.HashBytes(cc.EmitFile(f))
+		}
+	}
+	for _, fn := range p.All {
+		manifest.Funcs[prog.FuncID(fn)] = funcHash[fn]
+	}
+	if prev := cache.LoadManifest(a.cacheStore, configFP); prev != nil {
+		var changed []*prog.Function
+		for _, fn := range p.All {
+			if prev.Funcs[prog.FuncID(fn)] != funcHash[fn] {
+				changed = append(changed, fn)
+			}
+		}
+		incr.FuncsChanged = len(changed)
+		incr.FuncsInvalidated = len(p.DirtyClosure(changed))
+	} else {
+		incr.FuncsChanged = len(p.All)
+		incr.FuncsInvalidated = len(p.All)
+	}
+
+	for _, m := range a.sortedMarks() {
+		a.shared.Mark(m.name, m.key)
+	}
+	incr.BuildNanos = time.Since(t0).Nanoseconds()
+
+	// Per-unit fingerprints: sorted member FuncID=hash lines.
+	unitFP := func(fns []*prog.Function) string {
+		lines := make([]string, len(fns))
+		for i, fn := range fns {
+			lines[i] = prog.FuncID(fn) + "=" + funcHash[fn]
+		}
+		sort.Strings(lines)
+		return strings.Join(lines, "\n")
+	}
+
+	t0 = time.Now()
+	tasksByChecker := make([][]*unitTask, len(a.checkers))
+	for _, phase := range core.PlanPhases(a.checkers) {
+		// The marks visible to every engine in this phase are exactly
+		// those present at the barrier: PlanPhases guarantees no
+		// intra-phase write-then-read.
+		marksFP := cache.Key("marks", a.shared.Snapshot())
+
+		var tasks []*unitTask
+		for _, ci := range phase {
+			c := a.checkers[ci]
+			switch {
+			case len(c.Callouts) > 0:
+				// Native code: fingerprint can't see it; run live.
+				tasks = append(tasks, &unitTask{ci: ci, funcs: p.All, roots: p.Roots})
+			case (c.UsesAction("mark_fn") && c.UsesCallout("mc_fn_marked")) || a.opts.MaxBlocks > 0:
+				// Whole-program single unit (see package comment).
+				key := cache.UnitKey(a.checkerFPs[ci], optsFP, envFP, marksFP, unitFP(p.All))
+				tasks = append(tasks, a.lookupTask(ci, p.All, p.Roots, key))
+			default:
+				for _, u := range units {
+					key := cache.UnitKey(a.checkerFPs[ci], optsFP, envFP, marksFP, unitFP(u.Funcs))
+					tasks = append(tasks, a.lookupTask(ci, u.Funcs, u.Roots, key))
+				}
+			}
+		}
+
+		// Run the misses concurrently; slots acquired in task order so
+		// -j 1 degenerates to the sequential schedule.
+		sem := make(chan struct{}, a.parallelism())
+		var wg sync.WaitGroup
+		for _, t := range tasks {
+			if t.entry != nil {
+				continue
+			}
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(t *unitTask) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				en := core.NewEngineShared(p, a.checkers[t.ci], a.opts, a.shared)
+				t.runs = en.RunRoots(t.roots)
+				t.eng = en
+			}(t)
+		}
+		wg.Wait()
+
+		// Post-phase: replayed marks join the store (live marks landed
+		// during the run; ordering within the phase is immaterial —
+		// marks are an idempotent set read only after the barrier),
+		// and fresh results are written back.
+		for _, t := range tasks {
+			if t.entry != nil {
+				for _, ev := range t.entry.Marks {
+					a.shared.Mark(ev.Name, ev.Key)
+				}
+				continue
+			}
+			if t.key != "" {
+				if data, err := cache.EncodeUnit(a.buildEntry(t)); err == nil {
+					a.cacheStore.Put(t.key, data) // best effort
+				}
+			}
+		}
+		for _, t := range tasks {
+			tasksByChecker[t.ci] = append(tasksByChecker[t.ci], t)
+		}
+	}
+	incr.AnalyzeNanos = time.Since(t0).Nanoseconds()
+
+	// Merge per checker, units in global root order: concatenating the
+	// per-root segments through a fresh report set reproduces the plain
+	// single-engine emission stream exactly.
+	t0 = time.Now()
+	res := &Result{
+		Program:   p,
+		RuleStats: map[string]rank.RuleStat{},
+		Stats:     map[string]core.Stats{},
+		Engines:   map[string]*core.Engine{},
+	}
+	for ci, c := range a.checkers {
+		me := core.NewEngineShared(p, c, a.opts, a.shared)
+		agg := core.Stats{Analyses: map[string]int{}}
+		for _, t := range tasksByChecker[ci] {
+			if t.entry != nil {
+				for _, rr := range t.entry.Roots {
+					for _, r := range rr.Reports {
+						me.Reports.Add(r)
+					}
+				}
+				mergeStats(&agg, &t.entry.Stats)
+				for rule, rc := range t.entry.Rules {
+					mergeRule(me, rule, rc)
+				}
+				if t.entry.Summaries != nil {
+					me.ImportSummaries(t.entry.Summaries)
+				}
+				incr.UnitsReplayed++
+				incr.FuncsAnalyzedReplayed += sumAnalyses(&t.entry.Stats)
+			} else {
+				en := t.eng
+				for _, r := range en.Reports.Reports {
+					me.Reports.Add(r)
+				}
+				mergeStats(&agg, &en.Stats)
+				for rule, rc := range en.RuleStats {
+					mergeRule(me, rule, rc)
+				}
+				me.ImportSummaries(en.ExportSummaries(t.funcs))
+				incr.UnitsLive++
+				incr.FuncsAnalyzedLive += sumAnalyses(&en.Stats)
+			}
+		}
+		me.Stats = agg
+		res.Reports = append(res.Reports, me.Reports.Reports...)
+		for rule, rc := range me.RuleStats {
+			prev := res.RuleStats[rule]
+			prev.Rule = rule
+			prev.Examples += rc.Examples
+			prev.Violations += rc.Violations
+			res.RuleStats[rule] = prev
+		}
+		res.Stats[c.Name] = agg
+		res.Engines[c.Name] = me
+	}
+	if a.history != nil {
+		res.Reports = a.history.Suppress(res.Reports)
+	}
+	cache.SaveManifest(a.cacheStore, configFP, manifest) // best effort
+	incr.MergeNanos = time.Since(t0).Nanoseconds()
+
+	incr.CacheHits = a.cacheMetrics.Hits()
+	incr.CacheMisses = a.cacheMetrics.Misses()
+	incr.CachePuts = a.cacheMetrics.Puts()
+	res.Incr = incr
+	return res, nil
+}
+
+// lookupTask probes the store for a unit entry; a decode failure is a
+// miss (the entry re-runs live and is overwritten).
+func (a *Analyzer) lookupTask(ci int, funcs, roots []*prog.Function, key string) *unitTask {
+	t := &unitTask{ci: ci, funcs: funcs, roots: roots, key: key}
+	if data, ok := a.cacheStore.Get(key); ok {
+		if e, err := cache.DecodeUnit(data); err == nil {
+			t.entry = e
+		}
+	}
+	return t
+}
+
+// buildEntry serializes a live unit run for the store.
+func (a *Analyzer) buildEntry(t *unitTask) *cache.UnitEntry {
+	en := t.eng
+	e := &cache.UnitEntry{
+		Stats:     en.Stats,
+		Rules:     en.RuleStats,
+		Marks:     en.MarkLog,
+		Summaries: en.ExportSummaries(t.funcs),
+	}
+	for _, rr := range t.runs {
+		e.Roots = append(e.Roots, cache.RootReports{
+			Root:    prog.FuncID(rr.Root),
+			Reports: rr.Reports,
+		})
+	}
+	return e
+}
+
+// mergeStats accumulates src into dst: counters sum, HitBlockLimit
+// ORs, Analyses maps add.
+func mergeStats(dst, src *core.Stats) {
+	dst.Points += src.Points
+	dst.Blocks += src.Blocks
+	dst.Paths += src.Paths
+	dst.PrunedPaths += src.PrunedPaths
+	dst.CacheHits += src.CacheHits
+	dst.CacheMisses += src.CacheMisses
+	dst.FuncCacheHits += src.FuncCacheHits
+	dst.FuncFollows += src.FuncFollows
+	dst.RecursionCuts += src.RecursionCuts
+	dst.HitBlockLimit = dst.HitBlockLimit || src.HitBlockLimit
+	for k, v := range src.Analyses {
+		dst.Analyses[k] += v
+	}
+}
+
+func mergeRule(me *core.Engine, rule string, rc *core.RuleCount) {
+	prev := me.RuleStats[rule]
+	if prev == nil {
+		prev = &core.RuleCount{}
+		me.RuleStats[rule] = prev
+	}
+	prev.Examples += rc.Examples
+	prev.Violations += rc.Violations
+}
+
+// sumAnalyses totals the traversal starts in a stats block.
+func sumAnalyses(s *core.Stats) int {
+	n := 0
+	for _, v := range s.Analyses {
+		n += v
+	}
+	return n
+}
+
+// optionsFingerprint renders every Options field into the cache key.
+func optionsFingerprint(o Options) string {
+	var sb strings.Builder
+	sb.WriteString("opts|")
+	for _, b := range []bool{o.Interprocedural, o.BlockCache, o.FunctionCache, o.FPP, o.Synonyms, o.Kills} {
+		if b {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	sb.WriteString("|")
+	sb.WriteString(strings.Join([]string{
+		strconv.FormatInt(o.MaxBlocks, 10), strconv.Itoa(o.MaxCallDepth), strconv.Itoa(o.MaxPartitions),
+	}, ","))
+	return sb.String()
+}
+
+// configFingerprint identifies the analyzer configuration (checker
+// set in load order + options) for the manifest.
+func (a *Analyzer) configFingerprint(optsFP string) string {
+	parts := append([]string{"config", optsFP}, a.checkerFPs...)
+	return cache.Key(parts...)
+}
+
+// parseCachedSources is parseSources with the pass-1 AST cache: a
+// file whose content hash is cached loads its emitted AST instead of
+// re-parsing (the two-pass identity is pinned by the cc round-trip
+// tests). Pre-parsed ASTs (AddAST) pass through untouched.
+func (a *Analyzer) parseCachedSources(incr *IncrStats) ([]*cc.File, error) {
+	files := append([]*cc.File(nil), a.files...)
+	names := make([]string, 0, len(a.srcs))
+	for n := range a.srcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	parsed := make([]*cc.File, len(names))
+	errs := make([]error, len(names))
+	replayed := make([]bool, len(names))
+	one := func(i int) {
+		name := names[i]
+		src := a.srcs[name]
+		key := cache.ASTKey(name, cc.HashBytes([]byte(src)))
+		if data, ok := a.cacheStore.Get(key); ok {
+			if f, err := cc.ReadFile(data); err == nil {
+				parsed[i], replayed[i] = f, true
+				return
+			}
+		}
+		f, err := cc.ParseFile(name, src)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		parsed[i] = f
+		a.cacheStore.Put(key, cc.EmitFile(f)) // best effort
+	}
+
+	workers := a.parallelism()
+	if workers > len(names) {
+		workers = len(names)
+	}
+	if workers > 1 {
+		idxCh := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idxCh {
+					one(i)
+				}
+			}()
+		}
+		for i := range names {
+			idxCh <- i
+		}
+		close(idxCh)
+		wg.Wait()
+	} else {
+		for i := range names {
+			one(i)
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", names[i], err)
+		}
+	}
+	for _, r := range replayed {
+		if r {
+			incr.FilesReplayed++
+		} else {
+			incr.FilesReparsed++
+		}
+	}
+	return append(files, parsed...), nil
+}

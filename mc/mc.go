@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"runtime"
 
+	"repro/internal/cache"
 	"repro/internal/cc"
 	"repro/internal/checkers"
 	"repro/internal/core"
@@ -55,6 +56,12 @@ type Analyzer struct {
 	// jobs is the worker count for parallel parsing and checker
 	// execution; 0 means runtime.GOMAXPROCS(0).
 	jobs int
+	// Incremental cache (SetCache/SetCacheStore); nil runs the plain
+	// path. checkerFPs tracks one source fingerprint per loaded
+	// checker for cache keying.
+	cacheStore   cache.Store
+	cacheMetrics *cache.Metrics
+	checkerFPs   []string
 }
 
 // NewAnalyzer returns an analyzer with default options.
@@ -151,6 +158,7 @@ func (a *Analyzer) LoadChecker(src string) error {
 		return err
 	}
 	a.checkers = append(a.checkers, c)
+	a.checkerFPs = append(a.checkerFPs, cc.HashBytes([]byte(src)))
 	return nil
 }
 
@@ -158,12 +166,11 @@ func (a *Analyzer) LoadChecker(src string) error {
 // lock, null, interrupt, block, banned, format, leak, realloc,
 // sec-annotator, panic-marker).
 func (a *Analyzer) LoadBundledChecker(name string) error {
-	c, err := checkers.Parse(name)
-	if err != nil {
-		return err
+	s, ok := checkers.Lookup(name)
+	if !ok {
+		return &checkers.UnknownCheckerError{Name: name}
 	}
-	a.checkers = append(a.checkers, c)
-	return nil
+	return a.LoadChecker(s.Text)
 }
 
 // BundledCheckers lists the shipped checker names and docs.
@@ -191,6 +198,9 @@ type Result struct {
 	Stats map[string]core.Stats
 	// Engines retains each checker's engine for summary inspection.
 	Engines map[string]*core.Engine
+	// Incr reports what the cache-aware run replayed versus analyzed
+	// live; nil when the cache is disabled.
+	Incr *IncrStats
 }
 
 // Run parses everything (pass 1 fans out over a worker pool),
@@ -200,15 +210,18 @@ type Result struct {
 // output is bit-identical at every parallelism level; see DESIGN.md §5
 // "Engine parallelism".
 func (a *Analyzer) Run() (*Result, error) {
-	files, err := a.parseSources()
-	if err != nil {
-		return nil, err
-	}
-	if len(files) == 0 {
+	if len(a.srcs)+len(a.files) == 0 {
 		return nil, fmt.Errorf("no sources added")
 	}
 	if len(a.checkers) == 0 {
 		return nil, fmt.Errorf("no checkers loaded")
+	}
+	if a.cacheStore != nil {
+		return a.runCached()
+	}
+	files, err := a.parseSources()
+	if err != nil {
+		return nil, err
 	}
 	p := prog.Build(files...)
 
