@@ -1,12 +1,13 @@
 # Developer entry points. `make check` is the gate every change must
-# pass: formatting, vet, build, and the full test suite under the race
-# detector (the parallel engine must stay data-race free).
+# pass: formatting, vet, staticcheck (when installed), build, and the
+# full test suite under the race detector (the parallel engine and the
+# governance layer must stay data-race free).
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-parallel bench-incr clean
+.PHONY: check fmt vet staticcheck build test race bench-parallel bench-incr bench-gov clean
 
-check: fmt vet build race
+check: fmt vet staticcheck build race
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -15,14 +16,26 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# staticcheck is optional locally (the repo adds no dependencies) but
+# mandatory in CI, which installs it. Configured by staticcheck.conf:
+# SA1019 is off because tests deliberately pin the deprecated mc entry
+# points (migration contract).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; fi
+
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
 
+# -timeout 120s keeps a wedged traversal (the exact failure mode the
+# governance layer exists to cut) from hanging the gate.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 120s ./...
 
 # Engine-parallelism scaling series (DESIGN.md §5): sweeps -j over the
 # E11 workload, asserts byte-identical output, writes BENCH_parallel.json.
@@ -36,6 +49,12 @@ bench-parallel:
 bench-incr:
 	$(GO) run ./cmd/mcbench -exp incr
 
+# Governance-overhead series (DESIGN.md §9): legacy Run() vs governed
+# RunContext+budgets on the E11 workload; dies above 5% overhead or on
+# any output difference. Writes BENCH_governance.json.
+bench-gov:
+	$(GO) run ./cmd/mcbench -exp gov
+
 clean:
-	rm -f BENCH_parallel.json BENCH_incremental.json
+	rm -f BENCH_parallel.json BENCH_incremental.json BENCH_governance.json
 	$(GO) clean ./...

@@ -56,6 +56,7 @@ var experiments = []struct {
 	{"e12", "§8 history: cross-version suppression isolates new bugs", expE12},
 	{"par", "engine parallelism: wall-clock vs -j on the E11 workload (writes BENCH_parallel.json)", expPar},
 	{"incr", "incremental replay: warm-vs-cold live analyses per edit on the E11 workload (writes BENCH_incremental.json)", expIncr},
+	{"gov", "governance overhead: Run() vs RunContext+budgets on the E11 workload (writes BENCH_governance.json)", expGov},
 }
 
 // jobsFlag is the -j value; expPar adds it to its sweep, and 0 means

@@ -7,16 +7,24 @@
 //	xgcc -checker free,lock file1.c file2.c
 //	xgcc -checker-file my_checker.metal -rank z file.c
 //	xgcc -list
+//
+// Exit codes: 0 clean, 1 findings (with -exit-code), 2 usage or
+// analysis error, 3 cancelled or timed out (-timeout, SIGINT,
+// SIGTERM).
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 
 	"repro/internal/checkers"
 	"repro/mc"
@@ -39,8 +47,17 @@ func main() {
 		baseline     = flag.String("baseline", "", "history file: suppress reports recorded there; new reports are appended (§8 History)")
 		jobs         = flag.Int("j", 0, "parallel workers for parsing and checker execution (0 = GOMAXPROCS); output is identical at every level")
 		cacheDir     = flag.String("cache", "", "persist parsed ASTs and per-unit results here; warm re-runs replay unchanged work (DESIGN.md §8)")
-		exitCode     = flag.Bool("exit-code", false, "exit 1 if any non-suppressed report is emitted (errors exit 2)")
+		exitCode     = flag.Bool("exit-code", false, "exit 1 if any non-suppressed report is emitted (errors exit 2, cancellation exits 3)")
+		timeout      = flag.Duration("timeout", 0, "abort the analysis after this duration, exit 3 (0 = unbounded)")
+		pathSteps    = flag.Int64("budget-path-steps", 0, "per-path program-point budget; a tripped budget truncates the path and flags the run degraded (0 = unbounded)")
+		funcBlocks   = flag.Int64("budget-func-blocks", 0, "per-root block-visit budget (0 = unbounded)")
+		funcTime     = flag.Duration("budget-func-time", 0, "per-root wall-clock budget (0 = unbounded)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: xgcc [flags] file.c ...")
+		fmt.Fprintln(os.Stderr, "exit codes: 0 clean; 1 findings (-exit-code); 2 usage/analysis error; 3 cancelled or timed out")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	if *list {
@@ -58,12 +75,18 @@ func main() {
 	opts := mc.DefaultOptions()
 	opts.Interprocedural = !*intra
 	opts.FPP = !*noFPP
-	a.SetOptions(opts)
-	a.SetParallelism(*jobs)
-	if *cacheDir != "" {
-		if err := a.SetCache(*cacheDir); err != nil {
-			fatal(err)
-		}
+	if err := a.Configure(mc.RunConfig{
+		Options:  &opts,
+		Jobs:     *jobs,
+		CacheDir: *cacheDir,
+		Timeout:  *timeout,
+		Budgets: mc.Budgets{
+			PathSteps:  *pathSteps,
+			FuncBlocks: *funcBlocks,
+			FuncTime:   *funcTime,
+		},
+	}); err != nil {
+		fatal(err)
 	}
 
 	for _, path := range flag.Args() {
@@ -144,9 +167,24 @@ func main() {
 		a.SetHistory(old)
 	}
 
-	res, err := a.Run()
+	// SIGINT/SIGTERM cancel the analysis mid-traversal; together with
+	// -timeout both surface as exit 3, distinct from findings (1) and
+	// errors (2).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := a.RunContext(ctx)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "xgcc: analysis cancelled:", err)
+			os.Exit(3)
+		}
 		fatal(err)
+	}
+	for _, f := range res.Failures {
+		fmt.Fprintf(os.Stderr, "xgcc: checker %s panicked at root %s (contained): %s\n", f.Checker, f.Root, f.Panic)
+	}
+	if res.Degraded {
+		fmt.Fprintf(os.Stderr, "xgcc: results degraded: %d traversal(s) truncated by budget\n", len(res.Degradations))
 	}
 	if *baseline != "" {
 		if err := appendBaseline(*baseline, res.Reports); err != nil {

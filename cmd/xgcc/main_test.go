@@ -111,6 +111,50 @@ func TestExitCodeFlag(t *testing.T) {
 	}
 }
 
+// TestTimeoutExitCode3: an expired -timeout exits 3, distinct from
+// findings (1) and errors (2), and -h documents the code map.
+func TestTimeoutExitCode3(t *testing.T) {
+	dir := t.TempDir()
+	buggy := writeSrc(t, dir, "buggy.c", buggySrc)
+
+	out, code := runXgcc(t, dir, "-checker", "free", "-timeout", "1ns", buggy)
+	if code != 3 {
+		t.Errorf("-timeout 1ns: code %d, want 3 (out %.200s)", code, out)
+	}
+	if !strings.Contains(out, "cancelled") {
+		t.Errorf("timeout message missing: %.200s", out)
+	}
+	// A generous timeout behaves normally.
+	if _, code = runXgcc(t, dir, "-checker", "free", "-timeout", "1m", buggy); code != 0 {
+		t.Errorf("-timeout 1m: code %d, want 0", code)
+	}
+	// -h documents the exit-code contract.
+	usage, _ := runXgcc(t, dir, "-h")
+	if !strings.Contains(usage, "3 cancelled or timed out") {
+		t.Errorf("usage does not document exit codes: %.300s", usage)
+	}
+}
+
+// TestBudgetFlagReportsDegradation: a tripped traversal budget keeps
+// exit code 0 but warns on stderr.
+func TestBudgetFlagReportsDegradation(t *testing.T) {
+	dir := t.TempDir()
+	branchy := writeSrc(t, dir, "branchy.c", `void kfree(void *p);
+int g(int *p, int c) {
+    kfree(p);
+    if (c) { return *p; }
+    return 0;
+}
+`)
+	out, code := runXgcc(t, dir, "-checker", "free", "-budget-path-steps", "1", branchy)
+	if code != 0 {
+		t.Fatalf("degraded run: code %d, out %.300s", code, out)
+	}
+	if !strings.Contains(out, "degraded") {
+		t.Errorf("no degradation warning: %.300s", out)
+	}
+}
+
 func TestCacheFlagWarmRunIdentical(t *testing.T) {
 	dir := t.TempDir()
 	buggy := writeSrc(t, dir, "buggy.c", buggySrc)

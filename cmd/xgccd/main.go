@@ -6,10 +6,16 @@
 // A typical session:
 //
 //	xgccd -addr :8745 -checkers free,lock,null &
-//	curl -s -X POST localhost:8745/analyze \
+//	curl -s -X POST localhost:8745/v1/analyze \
 //	    -d '{"files": {"drv.c": "void kfree(void *p); int f(int *p) { kfree(p); return *p; }"}}'
-//	curl -s localhost:8745/reports?format=text
-//	curl -s localhost:8745/metrics
+//	curl -s localhost:8745/v1/reports?format=text
+//	curl -s localhost:8745/v1/metrics
+//
+// The HTTP surface is versioned under /v1/; unversioned paths remain
+// as aliases. Governance flags bound the daemon's resource use:
+// -max-inflight sheds excess analyze requests with 429,
+// -request-timeout cancels overlong runs with 503, and the budget
+// flags truncate runaway traversals (DESIGN.md §9).
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/server"
@@ -33,6 +40,11 @@ func main() {
 		jobs        = flag.Int("j", 0, "analysis parallelism (0 = GOMAXPROCS)")
 		noFPP       = flag.Bool("no-fpp", false, "disable false path pruning")
 		noInter     = flag.Bool("no-inter", false, "disable interprocedural analysis")
+		maxInflight = flag.Int("max-inflight", server.DefaultMaxInFlight, "max concurrently admitted analyze requests (excess gets 429)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request analysis deadline (503 on expiry; 0 = unbounded)")
+		pathSteps   = flag.Int64("budget-path-steps", 0, "per-path program-point budget (0 = unbounded)")
+		funcBlocks  = flag.Int64("budget-func-blocks", 0, "per-root block-visit budget (0 = unbounded)")
+		funcTime    = flag.Duration("budget-func-time", 0, "per-root wall-clock budget (0 = unbounded)")
 	)
 	var checkerFiles []string
 	flag.Func("checker-file", "load a metal checker from a file (repeatable)", func(path string) error {
@@ -50,7 +62,17 @@ func main() {
 	opts.FPP = !*noFPP
 	opts.Interprocedural = !*noInter
 
-	cfg := server.Config{Options: &opts, Jobs: *jobs}
+	cfg := server.Config{
+		Options:        &opts,
+		Jobs:           *jobs,
+		MaxInFlight:    *maxInflight,
+		RequestTimeout: *reqTimeout,
+		Budgets: mc.Budgets{
+			PathSteps:  *pathSteps,
+			FuncBlocks: *funcBlocks,
+			FuncTime:   *funcTime,
+		},
+	}
 	for _, name := range strings.Split(*checkerList, ",") {
 		if name = strings.TrimSpace(name); name != "" {
 			cfg.Checkers = append(cfg.Checkers, name)
@@ -72,8 +94,13 @@ func main() {
 	}
 
 	srv := server.New(cfg)
-	log.Printf("xgccd: listening on %s (checkers: %s)", *addr, *checkerList)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	log.Printf("xgccd: listening on %s (checkers: %s, max-inflight: %d)", *addr, *checkerList, *maxInflight)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := hs.ListenAndServe(); err != nil {
 		log.Fatalf("xgccd: %v", err)
 	}
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/cc"
 	"repro/internal/cfg"
@@ -37,6 +39,9 @@ type Options struct {
 	// MaxPartitions caps the disjoint exit-state partitions built at a
 	// call return (§6.3 step 5).
 	MaxPartitions int
+	// Budgets bounds per-path and per-function traversal work
+	// (governance layer, DESIGN.md §9). Zero value = unlimited.
+	Budgets Budgets
 }
 
 // DefaultOptions enables the full analysis.
@@ -125,6 +130,27 @@ type Engine struct {
 	// order. The incremental cache replays it so a warm run's later
 	// phases observe the same annotation store (DESIGN.md §8).
 	MarkLog []MarkEvent
+	// Degradations records every budget truncation and cancellation
+	// this run suffered (DESIGN.md §9); empty means the run was
+	// complete. A degraded run must never enter the incremental cache.
+	Degradations []DegradeEvent
+	// Failure is set when the checker panicked mid-run (a metal action
+	// or Go-callout bug); reports emitted before the crash survive.
+	Failure *CheckerFailure
+
+	// Run-scoped governance state (see governance.go). govern gates
+	// the per-block checks: it is false unless a cancellable context
+	// or an active budget is in play, so ungoverned runs pay one
+	// branch per block.
+	govern       bool
+	runCtx       context.Context
+	cancelled    bool
+	rootHalted   bool
+	rootBlocks   int64
+	rootDeadline time.Time
+	ctxPoll      int
+	curRoot      string
+	degradeSeen  map[string]bool
 
 	shared    *Shared
 	funcs     map[*prog.Function]*funcInfo
@@ -154,6 +180,7 @@ func NewEngineShared(p *prog.Program, c *metal.Checker, opts Options, shared *Sh
 		funcs:     map[*prog.Function]*funcInfo{},
 		actions:   builtinActions(),
 	}
+	en.govern = opts.Budgets.Active()
 	en.Stats.Analyses = map[string]int{}
 	en.transIdx = map[metal.StateRef][]*metal.Transition{}
 	for _, tr := range c.Transitions {
@@ -251,6 +278,7 @@ func (en *Engine) RunFunction(name string) *report.Set {
 	}
 	en.Stats.Analyses[fn.Name]++
 	en.funcInfo(fn).Analyses++
+	en.beginRoot(fn)
 	en.traverseBlock(st, fn.Graph.Entry)
 	return en.Reports
 }
@@ -282,6 +310,9 @@ type pathState struct {
 	killPath  bool
 	pathClass report.Class
 	pending   []pendingBranch
+	// steps counts program points visited along this path, bulk-added
+	// at block entry, for the per-path budget (governance layer).
+	steps int64
 }
 
 // cloneFor duplicates the state for a path split.
@@ -292,6 +323,7 @@ func (st *pathState) cloneFor() *pathState {
 		callDepth: st.callDepth,
 		killPath:  st.killPath,
 		pathClass: st.pathClass,
+		steps:     st.steps,
 	}
 	if st.env != nil {
 		out.env = st.env.Clone()
@@ -390,8 +422,13 @@ func (en *Engine) localOmitFor(fn *prog.Function) func(Tuple) bool {
 	}
 }
 
-// traverseBlock is the heart of Figure 4: the caching DFS.
+// traverseBlock is the heart of Figure 4: the caching DFS. It is also
+// the governance choke point: cancellation and budget checks gate
+// every block so a wedged traversal stops within one poll interval.
 func (en *Engine) traverseBlock(st *pathState, b *cfg.Block) {
+	if en.govern && (en.halted() || en.overBudget(st, b)) {
+		return
+	}
 	if en.Opts.MaxBlocks > 0 && en.Stats.Blocks >= en.Opts.MaxBlocks {
 		en.Stats.HitBlockLimit = true
 		return

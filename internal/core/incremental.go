@@ -8,12 +8,12 @@ package core
 // summaries, so a warm run can replay the unit without traversing it.
 
 import (
+	"context"
 	"sort"
 	"strings"
 
 	"repro/internal/cc"
 	"repro/internal/cfg"
-	"repro/internal/fpp"
 	"repro/internal/prog"
 	"repro/internal/report"
 )
@@ -29,23 +29,11 @@ type RootRun struct {
 // RunRoots applies the checker to the given roots in order, recording
 // the report segment each root contributed. Running all of
 // Prog.Roots through RunRoots is behavior-identical to Run — Run is
-// implemented on top of it.
+// implemented on top of it. Panic containment and budgets apply (see
+// governance.go); pass a context via RunRootsContext for
+// cancellation.
 func (en *Engine) RunRoots(roots []*prog.Function) []RootRun {
-	out := make([]RootRun, 0, len(roots))
-	for _, root := range roots {
-		before := len(en.Reports.Reports)
-		st := &pathState{
-			sm:        &SM{GState: en.Checker.InitialGlobal()},
-			env:       fpp.NewEnv(),
-			fn:        root,
-			callStack: []*prog.Function{root},
-		}
-		en.Stats.Analyses[root.Name]++
-		en.funcInfo(root).Analyses++
-		en.traverseBlock(st, root.Graph.Entry)
-		out = append(out, RootRun{Root: root, Reports: en.Reports.Reports[before:]})
-	}
-	return out
+	return en.RunRootsContext(context.Background(), roots)
 }
 
 // MarkEvent records one composition mark (§3.2) emitted during

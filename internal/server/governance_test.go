@@ -1,0 +1,235 @@
+package server
+
+// Hardened-API tests (DESIGN.md §9): the /v1/ surface with its error
+// envelope, admission control (429), and request timeouts (503).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+const tinySrc = `void kfree(void *p);
+int f(int *p) { kfree(p); return *p; }
+`
+
+func postRaw(t *testing.T, url string, req AnalyzeRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func decodeEnvelope(t *testing.T, data []byte) ErrorEnvelope {
+	t.Helper()
+	var env ErrorEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("error body is not the envelope: %v: %s", err, data)
+	}
+	return env
+}
+
+// TestV1AndLegacyPathsServeIdentically: both path families answer, and
+// a tree pushed through one is visible through the other.
+func TestV1AndLegacyPathsServeIdentically(t *testing.T) {
+	srv := New(Config{Checkers: []string{"free"}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, _ := postRaw(t, ts.URL+"/v1/analyze", AnalyzeRequest{Files: map[string]string{"a.c": tinySrc}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/analyze: status %d", resp.StatusCode)
+	}
+	for _, path := range []string{"/v1/reports", "/reports", "/v1/stats", "/stats", "/v1/metrics", "/metrics"} {
+		code, body := getBody(t, ts.URL+path)
+		if code != http.StatusOK {
+			t.Errorf("%s: status %d: %.200s", path, code, body)
+		}
+	}
+	// Legacy POST still works too.
+	resp, _ = postRaw(t, ts.URL+"/analyze", AnalyzeRequest{})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("legacy /analyze: status %d", resp.StatusCode)
+	}
+}
+
+func TestErrorEnvelopeShape(t *testing.T) {
+	srv := New(Config{Checkers: []string{"free"}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name   string
+		do     func() (*http.Response, []byte)
+		status int
+		code   string
+	}{
+		{"unknown path", func() (*http.Response, []byte) {
+			resp, err := http.Get(ts.URL + "/v2/nothing")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			return resp, buf.Bytes()
+		}, http.StatusNotFound, "not_found"},
+		{"GET on analyze", func() (*http.Response, []byte) {
+			resp, err := http.Get(ts.URL + "/v1/analyze")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			return resp, buf.Bytes()
+		}, http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"empty tree", func() (*http.Response, []byte) {
+			return postRaw(t, ts.URL+"/v1/analyze", AnalyzeRequest{Reset: true})
+		}, http.StatusBadRequest, "bad_request"},
+		{"reports before analysis", func() (*http.Response, []byte) {
+			resp, err := http.Get(ts.URL + "/v1/reports")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			return resp, buf.Bytes()
+		}, http.StatusNotFound, "no_analysis"},
+		{"unparseable C", func() (*http.Response, []byte) {
+			return postRaw(t, ts.URL+"/v1/analyze", AnalyzeRequest{Files: map[string]string{"bad.c": "int f( {"}})
+		}, http.StatusUnprocessableEntity, "analysis_failed"},
+	}
+	for _, tc := range cases {
+		resp, body := tc.do()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.status)
+			continue
+		}
+		env := decodeEnvelope(t, body)
+		if env.Code != tc.code || env.Message == "" {
+			t.Errorf("%s: envelope %+v, want code %q", tc.name, env, tc.code)
+		}
+	}
+}
+
+// TestBackpressure429: with MaxInFlight=1 and a run held in flight, a
+// second analyze request is shed with 429/"overloaded" and counted.
+func TestBackpressure429(t *testing.T) {
+	srv := New(Config{Checkers: []string{"free"}, MaxInFlight: 1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv.testRunHook = func(ctx context.Context) {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	done := make(chan int, 1)
+	go func() {
+		resp, _ := postRaw(t, ts.URL+"/v1/analyze", AnalyzeRequest{Files: map[string]string{"a.c": tinySrc}})
+		done <- resp.StatusCode
+	}()
+	<-entered
+
+	resp, body := postRaw(t, ts.URL+"/v1/analyze", AnalyzeRequest{Files: map[string]string{"b.c": tinySrc}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request: status %d, want 429: %s", resp.StatusCode, body)
+	}
+	if env := decodeEnvelope(t, body); env.Code != "overloaded" {
+		t.Errorf("envelope code %q, want overloaded", env.Code)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	close(release)
+	if code := <-done; code != http.StatusOK {
+		t.Errorf("held request finished with %d, want 200", code)
+	}
+
+	code, body2 := getBody(t, ts.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal([]byte(body2), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rejected != 1 {
+		t.Errorf("rejected counter = %d, want 1", stats.Rejected)
+	}
+}
+
+// TestRequestTimeout503: a run that outlives RequestTimeout returns
+// 503/"timeout", rolls the tree back, and bumps the counter.
+func TestRequestTimeout503(t *testing.T) {
+	srv := New(Config{Checkers: []string{"free"}, RequestTimeout: 50 * time.Millisecond})
+	srv.testRunHook = func(ctx context.Context) { <-ctx.Done() }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postRaw(t, ts.URL+"/v1/analyze", AnalyzeRequest{Files: map[string]string{"a.c": tinySrc}})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if env := decodeEnvelope(t, body); env.Code != "timeout" {
+		t.Errorf("envelope code %q, want timeout", env.Code)
+	}
+	if files := srv.SortedFiles(); len(files) != 0 {
+		t.Errorf("timed-out request committed the tree: %v", files)
+	}
+
+	// The daemon is healthy afterwards: the next (un-held) request
+	// succeeds once the hook is removed.
+	srv.testRunHook = nil
+	resp, _ = postRaw(t, ts.URL+"/v1/analyze", AnalyzeRequest{Files: map[string]string{"a.c": tinySrc}})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-timeout request: status %d", resp.StatusCode)
+	}
+
+	code, body2 := getBody(t, ts.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatal("stats unavailable")
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal([]byte(body2), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Timeouts != 1 {
+		t.Errorf("timeouts counter = %d, want 1", stats.Timeouts)
+	}
+}
+
+// TestGovernanceMetricsExposed: the new counters appear on /v1/metrics.
+func TestGovernanceMetricsExposed(t *testing.T) {
+	srv := New(Config{Checkers: []string{"free"}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	_, body := getBody(t, ts.URL+"/v1/metrics")
+	for _, name := range []string{
+		"xgccd_rejected_total", "xgccd_timeouts_total",
+		"xgccd_checker_failures_total", "xgccd_degraded_runs_total",
+		"xgccd_inflight",
+	} {
+		if !bytes.Contains([]byte(body), []byte(name)) {
+			t.Errorf("metric %s missing from /v1/metrics", name)
+		}
+	}
+}

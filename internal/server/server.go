@@ -1,17 +1,30 @@
 // Package server is the xgccd analysis daemon: a long-running HTTP
 // service that keeps sources and the incremental analysis cache
 // resident across requests (DESIGN.md §8). Clients push file edits
-// with POST /analyze; unchanged work replays from the resident store,
-// so steady-state requests cost roughly the dirty closure of the
-// edit, not the whole tree.
+// with POST /v1/analyze; unchanged work replays from the resident
+// store, so steady-state requests cost roughly the dirty closure of
+// the edit, not the whole tree.
 //
-//	POST /analyze  {"files": {"a.c": "..."}, "remove": [], "reset": false}
-//	GET  /reports  ?rank=generic|z  ?format=json|text
-//	GET  /stats
-//	GET  /metrics  (Prometheus text format)
+// The HTTP surface is versioned under /v1/ (DESIGN.md §9):
+//
+//	POST /v1/analyze  {"files": {"a.c": "..."}, "remove": [], "reset": false}
+//	GET  /v1/reports  ?rank=generic|z  ?format=json|text
+//	GET  /v1/stats
+//	GET  /v1/metrics  (Prometheus text format)
+//
+// The unversioned paths (/analyze, /reports, /stats, /metrics) remain
+// as aliases for pre-v1 clients. Every error response is a uniform
+// JSON envelope {"code": ..., "message": ..., "details": ...}.
+//
+// Resource governance: at most Config.MaxInFlight analyze requests are
+// admitted at once (excess gets 429 "overloaded"), each admitted run
+// is bounded by Config.RequestTimeout (503 "timeout" on expiry, with
+// the resident tree rolled back), and Config.Budgets bounds each
+// traversal inside a run.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -40,22 +53,49 @@ type Config struct {
 	Jobs int
 	// Store is the resident cache; nil = a fresh in-memory store.
 	Store cache.Store
+	// MaxInFlight bounds concurrently admitted analyze requests;
+	// excess requests are rejected with 429. 0 means DefaultMaxInFlight.
+	MaxInFlight int
+	// RequestTimeout bounds each admitted analysis run; an expired run
+	// returns 503 and rolls the resident tree back. 0 means unbounded.
+	RequestTimeout time.Duration
+	// Budgets bounds each traversal inside a run (mc.RunConfig.Budgets).
+	Budgets mc.Budgets
 }
 
-// Server is the daemon state. All fields behind mu: the source tree,
-// the last result, and cumulative counters. The store is internally
-// synchronized and shared across requests — that is the residency.
+// DefaultMaxInFlight is the admission bound when Config.MaxInFlight
+// is zero.
+const DefaultMaxInFlight = 4
+
+// Server is the daemon state. Mutable state lives behind mu: the
+// source tree, the last result, and cumulative counters. runMu
+// serializes the run-and-commit section so concurrent analyze
+// requests cannot interleave tree commits; sem is the admission
+// semaphore in front of it. The store is internally synchronized and
+// shared across requests — that is the residency.
 type Server struct {
 	cfg   Config
 	store cache.Store
+	sem   chan struct{}
+	runMu sync.Mutex
 
-	mu       sync.Mutex
-	srcs     map[string]string
-	last     *mc.Result
-	lastIncr *mc.IncrStats
-	requests int64
-	analyses int64
-	failures int64
+	// testRunHook, when set, runs inside the admitted, serialized run
+	// section before the analysis starts. Tests use it to hold a run
+	// in flight (backpressure) or to wait out the request deadline.
+	testRunHook func(context.Context)
+
+	mu              sync.Mutex
+	srcs            map[string]string
+	last            *mc.Result
+	lastIncr        *mc.IncrStats
+	requests        int64
+	analyses        int64
+	failures        int64
+	rejected        int64
+	timeouts        int64
+	checkerFailures int64
+	degradedRuns    int64
+	inflight        int64
 }
 
 // New builds a daemon from the configuration.
@@ -63,22 +103,35 @@ func New(cfg Config) *Server {
 	if len(cfg.Checkers) == 0 && len(cfg.CheckerSources) == 0 {
 		cfg.Checkers = []string{"free", "lock", "null"}
 	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
 	store := cfg.Store
 	if store == nil {
 		store = cache.NewMemStore()
 	}
-	return &Server{cfg: cfg, store: store, srcs: map[string]string{}}
+	return &Server{
+		cfg:   cfg,
+		store: store,
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		srcs:  map[string]string{},
+	}
 }
 
-// newAnalyzer assembles a fresh analyzer over the resident tree and
-// store. Analyzer construction is cheap; all heavy state (parsed
-// ASTs, unit results) lives in the store.
-func (s *Server) newAnalyzer() (*mc.Analyzer, error) {
+// newAnalyzer assembles a fresh analyzer over the given tree and the
+// resident store. Analyzer construction is cheap; all heavy state
+// (parsed ASTs, unit results) lives in the store.
+func (s *Server) newAnalyzer(tree map[string]string) (*mc.Analyzer, error) {
 	a := mc.NewAnalyzer()
-	if s.cfg.Options != nil {
-		a.SetOptions(*s.cfg.Options)
+	cfg := mc.RunConfig{
+		Options:    s.cfg.Options,
+		Jobs:       s.cfg.Jobs,
+		CacheStore: s.store,
+		Budgets:    s.cfg.Budgets,
 	}
-	a.SetParallelism(s.cfg.Jobs)
+	if err := a.Configure(cfg); err != nil {
+		return nil, err
+	}
 	for _, name := range s.cfg.Checkers {
 		if err := a.LoadBundledChecker(name); err != nil {
 			return nil, err
@@ -89,14 +142,29 @@ func (s *Server) newAnalyzer() (*mc.Analyzer, error) {
 			return nil, err
 		}
 	}
-	for name, src := range s.srcs {
+	for name, src := range tree {
 		a.AddSource(name, src)
 	}
-	a.SetCacheStore(s.store)
 	return a, nil
 }
 
-// AnalyzeRequest is the POST /analyze body. Files merge into the
+// ErrorEnvelope is the uniform error body every endpoint returns on
+// failure (DESIGN.md §9).
+type ErrorEnvelope struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Details string `json:"details,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, message, details string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(ErrorEnvelope{Code: code, Message: message, Details: details})
+}
+
+// AnalyzeRequest is the POST /v1/analyze body. Files merge into the
 // resident tree (same name replaces), Remove drops files, Reset
 // clears the tree first. An empty request re-analyzes the resident
 // tree as-is.
@@ -113,6 +181,11 @@ type AnalyzeResponse struct {
 	Ranked      []ReportJSON  `json:"ranked"`
 	Incr        *mc.IncrStats `json:"incr"`
 	ElapsedNano int64         `json:"elapsed_nanos"`
+	// Governance (DESIGN.md §9): a run can succeed with partial
+	// results — checkers that panicked, or traversals a budget cut.
+	Failures     []*mc.CheckerFailure `json:"failures,omitempty"`
+	Degraded     bool                 `json:"degraded,omitempty"`
+	Degradations []mc.DegradeEvent    `json:"degradations,omitempty"`
 }
 
 // ReportJSON is one rendered report.
@@ -138,41 +211,95 @@ func reportJSON(r *report.Report) ReportJSON {
 	}
 }
 
-// Handler returns the daemon's HTTP handler.
+// Handler returns the daemon's HTTP handler: the /v1/ surface, the
+// unversioned legacy aliases, and an enveloped 404 for everything
+// else.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/analyze", s.handleAnalyze)
-	mux.HandleFunc("/reports", s.handleReports)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/metrics", s.handleMetrics)
+	for _, prefix := range []string{"/v1", ""} {
+		mux.HandleFunc(prefix+"/analyze", s.handleAnalyze)
+		mux.HandleFunc(prefix+"/reports", s.handleReports)
+		mux.HandleFunc(prefix+"/stats", s.handleStats)
+		mux.HandleFunc(prefix+"/metrics", s.handleMetrics)
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.countRequest()
+		writeError(w, http.StatusNotFound, "not_found",
+			"unknown path", r.URL.Path)
+	})
 	return mux
 }
 
-func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+func (s *Server) countRequest() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.requests++
+	s.mu.Unlock()
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.countRequest()
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"POST only", r.Method)
 		return
 	}
 	var req AnalyzeRequest
 	if r.Body != nil {
 		dec := json.NewDecoder(r.Body)
 		if err := dec.Decode(&req); err != nil && err.Error() != "EOF" {
-			s.failures++
-			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			s.bumpFailures()
+			writeError(w, http.StatusBadRequest, "bad_request",
+				"malformed JSON body", err.Error())
 			return
 		}
 	}
-	// Stage the tree change; commit only after a successful run, so a
-	// request with unparseable C doesn't poison the resident tree.
+
+	// Admission control: try-acquire, never queue. A daemon saturated
+	// with analyses sheds load immediately instead of stacking
+	// goroutines behind runMu.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.mu.Lock()
+		s.rejected++
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "overloaded",
+			"too many analyses in flight", fmt.Sprintf("max_inflight=%d", s.cfg.MaxInFlight))
+		return
+	}
+	defer func() { <-s.sem }()
+	s.mu.Lock()
+	s.inflight++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.inflight--
+		s.mu.Unlock()
+	}()
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	// Serialize run-and-commit: snapshot the tree, run outside mu (the
+	// analysis is the long part), commit only on success so a request
+	// with unparseable C — or one that timed out — doesn't poison the
+	// resident tree.
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+
+	s.mu.Lock()
 	next := map[string]string{}
 	if !req.Reset {
 		for name, src := range s.srcs {
 			next[name] = src
 		}
 	}
+	s.mu.Unlock()
 	for _, name := range req.Remove {
 		delete(next, name)
 	}
@@ -180,37 +307,61 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		next[name] = src
 	}
 	if len(next) == 0 {
-		s.failures++
-		http.Error(w, "no sources resident", http.StatusBadRequest)
+		s.bumpFailures()
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"no sources resident", "")
 		return
 	}
-	prev := s.srcs
-	s.srcs = next
 
-	a, err := s.newAnalyzer()
+	if s.testRunHook != nil {
+		s.testRunHook(ctx)
+	}
+
+	a, err := s.newAnalyzer(next)
 	if err != nil {
-		s.srcs = prev
-		s.failures++
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.bumpFailures()
+		writeError(w, http.StatusInternalServerError, "internal",
+			"analyzer setup failed", err.Error())
 		return
 	}
 	t0 := time.Now()
-	res, err := a.Run()
+	res, err := a.RunContext(ctx)
 	if err != nil {
-		s.srcs = prev
-		s.failures++
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		if ctx.Err() != nil {
+			s.mu.Lock()
+			s.timeouts++
+			s.failures++
+			s.mu.Unlock()
+			writeError(w, http.StatusServiceUnavailable, "timeout",
+				"analysis cancelled or timed out", ctx.Err().Error())
+			return
+		}
+		s.bumpFailures()
+		writeError(w, http.StatusUnprocessableEntity, "analysis_failed",
+			"analysis failed", err.Error())
 		return
 	}
+
+	s.mu.Lock()
 	s.analyses++
+	s.checkerFailures += int64(len(res.Failures))
+	if res.Degraded {
+		s.degradedRuns++
+	}
+	s.srcs = next
 	s.last = res
 	s.lastIncr = res.Incr
+	files := len(s.srcs)
+	s.mu.Unlock()
 
 	resp := AnalyzeResponse{
-		Files:       len(s.srcs),
-		Reports:     len(res.Reports),
-		Incr:        res.Incr,
-		ElapsedNano: time.Since(t0).Nanoseconds(),
+		Files:        files,
+		Reports:      len(res.Reports),
+		Incr:         res.Incr,
+		ElapsedNano:  time.Since(t0).Nanoseconds(),
+		Failures:     res.Failures,
+		Degraded:     res.Degraded,
+		Degradations: res.Degradations,
 	}
 	for _, rep := range res.Ranked() {
 		resp.Ranked = append(resp.Ranked, reportJSON(rep))
@@ -218,23 +369,32 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+func (s *Server) bumpFailures() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.requests++
+	s.failures++
+	s.mu.Unlock()
+}
+
+func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+	s.countRequest()
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"GET only", r.Method)
 		return
 	}
-	if s.last == nil {
-		http.Error(w, "no analysis yet", http.StatusNotFound)
+	s.mu.Lock()
+	last := s.last
+	s.mu.Unlock()
+	if last == nil {
+		writeError(w, http.StatusNotFound, "no_analysis",
+			"no analysis yet", "")
 		return
 	}
 	var ranked []*report.Report
 	if r.URL.Query().Get("rank") == "z" {
-		ranked = s.last.ZRanked()
+		ranked = last.ZRanked()
 	} else {
-		ranked = s.last.Ranked()
+		ranked = last.Ranked()
 	}
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -250,11 +410,18 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
-// StatsResponse is the GET /stats body.
+// StatsResponse is the GET /v1/stats body.
 type StatsResponse struct {
-	Requests int64                 `json:"requests"`
-	Analyses int64                 `json:"analyses"`
-	Failures int64                 `json:"failures"`
+	Requests int64 `json:"requests"`
+	Analyses int64 `json:"analyses"`
+	Failures int64 `json:"failures"`
+	// Governance counters (DESIGN.md §9).
+	Rejected        int64 `json:"rejected"`
+	Timeouts        int64 `json:"timeouts"`
+	CheckerFailures int64 `json:"checker_failures"`
+	DegradedRuns    int64 `json:"degraded_runs"`
+	MaxInFlight     int   `json:"max_inflight"`
+
 	Files    int                   `json:"files"`
 	Reports  int                   `json:"reports"`
 	Incr     *mc.IncrStats         `json:"incr,omitempty"`
@@ -262,19 +429,25 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.requests++
+	s.countRequest()
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"GET only", r.Method)
 		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	resp := StatsResponse{
-		Requests: s.requests,
-		Analyses: s.analyses,
-		Failures: s.failures,
-		Files:    len(s.srcs),
-		Incr:     s.lastIncr,
+		Requests:        s.requests,
+		Analyses:        s.analyses,
+		Failures:        s.failures,
+		Rejected:        s.rejected,
+		Timeouts:        s.timeouts,
+		CheckerFailures: s.checkerFailures,
+		DegradedRuns:    s.degradedRuns,
+		MaxInFlight:     s.cfg.MaxInFlight,
+		Files:           len(s.srcs),
+		Incr:            s.lastIncr,
 	}
 	if s.last != nil {
 		resp.Reports = len(s.last.Reports)
@@ -284,13 +457,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.requests++
+	s.countRequest()
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"GET only", r.Method)
 		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var sb strings.Builder
 	counter := func(name string, v int64, help string) {
@@ -304,6 +478,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("xgccd_requests_total", s.requests, "HTTP requests served")
 	counter("xgccd_analyses_total", s.analyses, "successful analysis runs")
 	counter("xgccd_failures_total", s.failures, "failed requests")
+	counter("xgccd_rejected_total", s.rejected, "analyze requests shed by admission control")
+	counter("xgccd_timeouts_total", s.timeouts, "analyses cancelled by the request deadline")
+	counter("xgccd_checker_failures_total", s.checkerFailures, "checkers contained after panicking mid-run")
+	counter("xgccd_degraded_runs_total", s.degradedRuns, "runs with budget-truncated traversals")
+	gauge("xgccd_inflight", float64(s.inflight), "analyze requests currently admitted")
 	gauge("xgccd_resident_files", float64(len(s.srcs)), "sources in the resident tree")
 	if s.last != nil {
 		gauge("xgccd_reports", float64(len(s.last.Reports)), "reports in the last run")

@@ -1,0 +1,138 @@
+package mc
+
+// Consolidated configuration (the context-first API surface, DESIGN.md
+// §9): RunConfig gathers every knob that previously required its own
+// setter — options, parallelism, cache wiring, budgets, timeout — and
+// Configure applies them in one call. The per-field setters
+// (SetOptions, SetParallelism, SetCache, SetCacheStore) remain as thin
+// deprecated wrappers; see the migration table in README.md.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/metal"
+)
+
+// Budgets re-exports the engine resource budgets (core.Budgets): a
+// per-path step ceiling, a per-root block ceiling, and a per-root wall
+// clock. A tripped budget degrades the result (Result.Degraded) rather
+// than failing the run.
+type Budgets = core.Budgets
+
+// DegradeEvent re-exports one recorded traversal truncation.
+type DegradeEvent = core.DegradeEvent
+
+// CheckerFailure re-exports the structured record of a checker that
+// panicked mid-run.
+type CheckerFailure = core.CheckerFailure
+
+// RunConfig is the consolidated analyzer configuration for Configure
+// and AnalyzeContext. The zero value changes nothing: every field is
+// optional and only non-zero fields are applied.
+type RunConfig struct {
+	// Options replaces the engine feature switches when non-nil
+	// (equivalent to the deprecated SetOptions).
+	Options *Options
+	// Jobs sets the worker count for parallel parsing and checker
+	// execution; 0 keeps the current setting, negative restores the
+	// default (runtime.GOMAXPROCS).
+	Jobs int
+	// CacheDir enables the persistent analysis cache in a directory
+	// (equivalent to the deprecated SetCache). Mutually exclusive with
+	// CacheStore.
+	CacheDir string
+	// CacheStore enables the analysis cache on an arbitrary store
+	// (equivalent to the deprecated SetCacheStore).
+	CacheStore cache.Store
+	// Budgets bounds each traversal; a non-zero value overrides
+	// Options.Budgets (so callers can pass DefaultOptions plus a
+	// budget without touching the struct).
+	Budgets Budgets
+	// Timeout bounds each RunContext call; RunContext derives a
+	// deadline context per run. Zero means no analyzer-imposed bound.
+	Timeout time.Duration
+}
+
+// Configure applies a consolidated configuration. Fields at their
+// zero value are left untouched, so Configure can be called more than
+// once to adjust individual knobs.
+func (a *Analyzer) Configure(cfg RunConfig) error {
+	if cfg.CacheDir != "" && cfg.CacheStore != nil {
+		return fmt.Errorf("RunConfig: CacheDir and CacheStore are mutually exclusive")
+	}
+	if cfg.Options != nil {
+		a.opts = *cfg.Options
+	}
+	if cfg.Budgets.Active() {
+		a.opts.Budgets = cfg.Budgets
+	}
+	if cfg.Jobs < 0 {
+		a.jobs = 0
+	} else if cfg.Jobs > 0 {
+		a.jobs = cfg.Jobs
+	}
+	if cfg.CacheDir != "" {
+		ds, err := cache.NewDirStore(cfg.CacheDir)
+		if err != nil {
+			return err
+		}
+		a.setStore(ds)
+	}
+	if cfg.CacheStore != nil {
+		a.setStore(cfg.CacheStore)
+	}
+	if cfg.Timeout > 0 {
+		a.timeout = cfg.Timeout
+	}
+	return nil
+}
+
+// AnalyzeContext is the one-call entry point: build an analyzer from
+// cfg, add every source, load every bundled checker by name, and run
+// under ctx. It is the daemon's per-request path and the shortest
+// road from sources to ranked reports:
+//
+//	res, err := mc.AnalyzeContext(ctx, mc.RunConfig{Timeout: time.Minute},
+//	    map[string]string{"driver.c": src}, "free", "null")
+//
+// On cancellation it returns the partial Result alongside ctx.Err(),
+// exactly as RunContext does.
+func AnalyzeContext(ctx context.Context, cfg RunConfig, sources map[string]string, checkers ...string) (*Result, error) {
+	a := NewAnalyzer()
+	if err := a.Configure(cfg); err != nil {
+		return nil, err
+	}
+	for name, src := range sources {
+		a.AddSource(name, src)
+	}
+	for _, name := range checkers {
+		if err := a.LoadBundledChecker(name); err != nil {
+			return nil, err
+		}
+	}
+	return a.RunContext(ctx)
+}
+
+// LoadCheckerWithCallouts compiles metal checker source and registers
+// custom Go callout functions the checker's patterns may invoke (by
+// name, over the builtin callout library). Checkers with native
+// callouts always run live — Go code is invisible to the cache
+// fingerprint — and a callout that panics is contained per checker
+// like any other checker fault (Result.Failures).
+func (a *Analyzer) LoadCheckerWithCallouts(src string, callouts map[string]Callout) error {
+	c, err := metal.Parse(src)
+	if err != nil {
+		return err
+	}
+	for name, fn := range callouts {
+		c.Callouts[name] = fn
+	}
+	a.checkers = append(a.checkers, c)
+	a.checkerFPs = append(a.checkerFPs, cc.HashBytes([]byte(src)))
+	return nil
+}

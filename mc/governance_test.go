@@ -1,0 +1,299 @@
+package mc
+
+// Governance tests at the public-API layer (DESIGN.md §9): panicking
+// Go-callout checkers are isolated per checker, budgets degrade
+// instead of wedging, cancellation is prompt, and degraded units never
+// enter the incremental cache. All of this must hold under -race.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/pattern"
+	"repro/internal/workload"
+)
+
+// panickyChecker fires a Go callout that panics — a native-extension
+// bug the engine must contain.
+const panickyChecker = `
+sm panicky;
+state decl any_pointer v;
+decl any_arguments rest;
+
+start:
+    { kfree(v) } ==> v.freed
+;
+
+v.freed:
+    { printk(rest) } && ${ boom(v) } ==> v.stop, { err("never emitted"); }
+;
+`
+
+const victimSrc = `
+void kfree(void *p);
+int printk(const char *fmt, ...);
+int f(int *p) {
+    kfree(p);
+    printk("freed %p\n", p);
+    return *p;
+}`
+
+func loadPanicky(t *testing.T, a *Analyzer) {
+	t.Helper()
+	err := a.LoadCheckerWithCallouts(panickyChecker, map[string]Callout{
+		"boom": func(ctx *pattern.Ctx, args []pattern.CalloutArg) bool {
+			panic("callout bug: boom() invoked")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPanickingCalloutIsolatedPerChecker: the crashing checker lands
+// in Result.Failures while the healthy free checker's reports arrive
+// intact, and the analyzer object stays usable for another run.
+func TestPanickingCalloutIsolatedPerChecker(t *testing.T) {
+	a := NewAnalyzer()
+	a.AddSource("victim.c", victimSrc)
+	if err := a.LoadBundledChecker("free"); err != nil {
+		t.Fatal(err)
+	}
+	loadPanicky(t, a)
+
+	res, err := a.RunContext(context.Background())
+	if err != nil {
+		t.Fatalf("run with contained panic returned error: %v", err)
+	}
+	if len(res.Failures) != 1 || res.Failures[0].Checker != "panicky" {
+		t.Fatalf("failures = %+v, want one for checker panicky", res.Failures)
+	}
+	if !strings.Contains(res.Failures[0].Panic, "boom() invoked") {
+		t.Errorf("panic value lost: %q", res.Failures[0].Panic)
+	}
+	free := 0
+	for _, r := range res.Reports {
+		if r.Checker == "free_checker" {
+			free++
+		}
+	}
+	if free == 0 {
+		t.Errorf("healthy checker's reports lost: %v", res.Reports)
+	}
+
+	// Same analyzer, next run: still functional (fresh engines per run).
+	res2, err := a.RunContext(context.Background())
+	if err != nil || len(res2.Failures) != 1 {
+		t.Errorf("analyzer unusable after contained panic: %v %+v", err, res2)
+	}
+}
+
+// explosionConfig is a path-explosion setup: block caching and FPP off
+// so the diamond chain really explores 2^n paths.
+func explosionConfig(budgets Budgets) RunConfig {
+	opts := DefaultOptions()
+	opts.BlockCache = false
+	opts.FPP = false
+	return RunConfig{Options: &opts, Budgets: budgets}
+}
+
+func TestPathExplosionBudgetDegrades(t *testing.T) {
+	a := NewAnalyzer()
+	a.AddSource("d.c", workload.DiamondChain(12).Source)
+	if err := a.LoadBundledChecker("free"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Configure(explosionConfig(Budgets{FuncBlocks: 100})); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.RunContext(context.Background())
+	if err != nil {
+		t.Fatalf("budget-degraded run returned error: %v", err)
+	}
+	if !res.Degraded || len(res.Degradations) == 0 {
+		t.Fatalf("path explosion under budget not degraded: %+v", res)
+	}
+	if res.Degradations[0].Kind != "func-blocks" {
+		t.Errorf("unexpected degradation kind: %+v", res.Degradations)
+	}
+}
+
+func TestPreCancelledContext(t *testing.T) {
+	a := NewAnalyzer()
+	a.AddSource("v.c", victimSrc)
+	if err := a.LoadBundledChecker("free"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := a.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("cancelled run took %v", d)
+	}
+	// The analyzer is still usable with a live context.
+	if res, err := a.RunContext(context.Background()); err != nil || len(res.Reports) == 0 {
+		t.Errorf("analyzer unusable after cancellation: %v", err)
+	}
+}
+
+func TestConfigureTimeoutExpires(t *testing.T) {
+	a := NewAnalyzer()
+	a.AddSource("d.c", workload.DiamondChain(18).Source)
+	if err := a.LoadBundledChecker("free"); err != nil {
+		t.Fatal(err)
+	}
+	cfg := explosionConfig(Budgets{})
+	cfg.Timeout = 10 * time.Millisecond
+	if err := a.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := a.RunContext(context.Background())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("timed-out run took %v to return", d)
+	}
+}
+
+// TestDegradedUnitNeverCached: a degraded unit must not be written to
+// the store — a warm re-run finds nothing to replay.
+func TestDegradedUnitNeverCached(t *testing.T) {
+	store := cache.NewMemStore()
+	run := func() *Result {
+		a := NewAnalyzer()
+		a.AddSource("d.c", workload.DiamondChain(12).Source)
+		if err := a.LoadBundledChecker("free"); err != nil {
+			t.Fatal(err)
+		}
+		cfg := explosionConfig(Budgets{FuncBlocks: 100})
+		cfg.CacheStore = store
+		if err := a.Configure(cfg); err != nil {
+			t.Fatal(err)
+		}
+		res, err := a.RunContext(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := run()
+	if !first.Degraded {
+		t.Fatal("run under tight budget not degraded")
+	}
+	second := run()
+	if !second.Degraded || second.Incr.UnitsReplayed != 0 {
+		t.Errorf("degraded unit was cached: replayed=%d", second.Incr.UnitsReplayed)
+	}
+}
+
+// TestCompleteRunStillCached: the degraded-never-cached rule must not
+// break normal caching — an identical budget that never trips caches
+// and replays as usual.
+func TestCompleteRunStillCached(t *testing.T) {
+	store := cache.NewMemStore()
+	run := func() *Result {
+		a := NewAnalyzer()
+		a.AddSource("v.c", victimSrc)
+		if err := a.LoadBundledChecker("free"); err != nil {
+			t.Fatal(err)
+		}
+		cfg := RunConfig{Budgets: Budgets{FuncBlocks: 1 << 40}, CacheStore: store}
+		if err := a.Configure(cfg); err != nil {
+			t.Fatal(err)
+		}
+		res, err := a.RunContext(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if first := run(); first.Degraded {
+		t.Fatal("generous budget tripped unexpectedly")
+	}
+	if second := run(); second.Incr.UnitsReplayed == 0 {
+		t.Error("complete governed run was not cached")
+	}
+}
+
+// TestFailedCheckerRunNotCached: a warm run after a panicking-checker
+// run must re-run the healthy checkers' units... unless they were
+// complete. Only the panicking checker is uncacheable (it has
+// callouts), so the free checker's complete unit DOES replay — the
+// failure gate is per unit, not per run.
+func TestFailedCheckerRunNotCached(t *testing.T) {
+	store := cache.NewMemStore()
+	run := func() *Result {
+		a := NewAnalyzer()
+		a.AddSource("v.c", victimSrc)
+		if err := a.LoadBundledChecker("free"); err != nil {
+			t.Fatal(err)
+		}
+		loadPanicky(t, a)
+		if err := a.Configure(RunConfig{CacheStore: store}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := a.RunContext(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := run()
+	if len(first.Failures) != 1 {
+		t.Fatalf("failures = %+v", first.Failures)
+	}
+	second := run()
+	if len(second.Failures) != 1 {
+		t.Errorf("warm run lost the failure: %+v", second.Failures)
+	}
+	// The healthy checker's unit was complete and replays; the
+	// panicking checker re-runs live every time (native callouts).
+	if second.Incr.UnitsReplayed == 0 {
+		t.Error("healthy checker's complete unit did not replay")
+	}
+}
+
+// TestAnalyzeContextEndToEnd drives the consolidated one-call API.
+func TestAnalyzeContextEndToEnd(t *testing.T) {
+	res, err := AnalyzeContext(context.Background(),
+		RunConfig{Jobs: 2, Timeout: time.Minute},
+		map[string]string{"v.c": victimSrc}, "free", "null")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) == 0 || res.Degraded || len(res.Failures) != 0 {
+		t.Errorf("unexpected result: %+v", res)
+	}
+	// Unknown checker surfaces as a load error.
+	if _, err := AnalyzeContext(context.Background(), RunConfig{},
+		map[string]string{"v.c": victimSrc}, "no-such"); err == nil {
+		t.Error("unknown checker did not error")
+	}
+}
+
+// TestDeprecatedWrappersStillWork pins the migration contract: the old
+// entry points remain functional thin wrappers.
+func TestDeprecatedWrappersStillWork(t *testing.T) {
+	a := NewAnalyzer()
+	a.AddSource("v.c", victimSrc)
+	if err := a.LoadBundledChecker("free"); err != nil {
+		t.Fatal(err)
+	}
+	a.SetOptions(DefaultOptions())
+	a.SetParallelism(2)
+	a.SetCacheStore(cache.NewMemStore())
+	res, err := a.Run()
+	if err != nil || len(res.Reports) == 0 {
+		t.Errorf("deprecated path broken: %v", err)
+	}
+}

@@ -26,6 +26,7 @@ package mc
 //     path; they also fall back to a single whole-program unit.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -43,6 +44,9 @@ import (
 // SetCache enables the persistent analysis cache backed by a
 // directory (created if needed). Warm re-runs replay unchanged work
 // from it; output is byte-identical to a cold run.
+//
+// Deprecated: use Configure with RunConfig.CacheDir; SetCache remains
+// as a thin wrapper (see the migration table in README.md).
 func (a *Analyzer) SetCache(dir string) error {
 	ds, err := cache.NewDirStore(dir)
 	if err != nil {
@@ -55,7 +59,13 @@ func (a *Analyzer) SetCache(dir string) error {
 // SetCacheStore enables the analysis cache on an arbitrary store
 // (e.g. cache.NewMemStore() for a resident daemon). A nil store
 // disables caching.
-func (a *Analyzer) SetCacheStore(s cache.Store) {
+//
+// Deprecated: use Configure with RunConfig.CacheStore; SetCacheStore
+// remains as a thin wrapper (see the migration table in README.md).
+func (a *Analyzer) SetCacheStore(s cache.Store) { a.setStore(s) }
+
+// setStore is the shared backing for SetCacheStore and Configure.
+func (a *Analyzer) setStore(s cache.Store) {
 	if s == nil {
 		a.cacheStore = nil
 		a.cacheMetrics = nil
@@ -112,8 +122,12 @@ type unitTask struct {
 	runs  []core.RootRun   // the live run's per-root report segments
 }
 
-// runCached is Run with the cache enabled.
-func (a *Analyzer) runCached() (*Result, error) {
+// runCached is Run with the cache enabled. Governance rules
+// (DESIGN.md §9): a unit whose live run was degraded (budget hit or
+// cancellation) or whose checker panicked is never written to the
+// store — a cached entry always represents a complete analysis — and
+// the manifest is only saved for complete runs.
+func (a *Analyzer) runCached(ctx context.Context) (*Result, error) {
 	incr := &IncrStats{}
 
 	t0 := time.Now()
@@ -223,7 +237,7 @@ func (a *Analyzer) runCached() (*Result, error) {
 				defer wg.Done()
 				defer func() { <-sem }()
 				en := core.NewEngineShared(p, a.checkers[t.ci], a.opts, a.shared)
-				t.runs = en.RunRoots(t.roots)
+				t.runs = en.RunRootsContext(ctx, t.roots)
 				t.eng = en
 			}(t)
 		}
@@ -232,7 +246,9 @@ func (a *Analyzer) runCached() (*Result, error) {
 		// Post-phase: replayed marks join the store (live marks landed
 		// during the run; ordering within the phase is immaterial —
 		// marks are an idempotent set read only after the barrier),
-		// and fresh results are written back.
+		// and fresh results are written back. Degraded or failed units
+		// must never be cached: their entries would replay truncated
+		// output as if it were complete.
 		for _, t := range tasks {
 			if t.entry != nil {
 				for _, ev := range t.entry.Marks {
@@ -240,7 +256,7 @@ func (a *Analyzer) runCached() (*Result, error) {
 				}
 				continue
 			}
-			if t.key != "" {
+			if t.key != "" && t.eng.Failure == nil && !t.eng.Degraded() {
 				if data, err := cache.EncodeUnit(a.buildEntry(t)); err == nil {
 					a.cacheStore.Put(t.key, data) // best effort
 				}
@@ -293,6 +309,7 @@ func (a *Analyzer) runCached() (*Result, error) {
 				me.ImportSummaries(en.ExportSummaries(t.funcs))
 				incr.UnitsLive++
 				incr.FuncsAnalyzedLive += sumAnalyses(&en.Stats)
+				collectGovernance(res, en)
 			}
 		}
 		me.Stats = agg
@@ -310,13 +327,21 @@ func (a *Analyzer) runCached() (*Result, error) {
 	if a.history != nil {
 		res.Reports = a.history.Suppress(res.Reports)
 	}
-	cache.SaveManifest(a.cacheStore, configFP, manifest) // best effort
+	// The manifest is the invalidation baseline for the next run; a
+	// partial run must not become that baseline, so only complete runs
+	// save it (DESIGN.md §9).
+	if len(res.Failures) == 0 && !res.Degraded && ctx.Err() == nil {
+		cache.SaveManifest(a.cacheStore, configFP, manifest) // best effort
+	}
 	incr.MergeNanos = time.Since(t0).Nanoseconds()
 
 	incr.CacheHits = a.cacheMetrics.Hits()
 	incr.CacheMisses = a.cacheMetrics.Misses()
 	incr.CachePuts = a.cacheMetrics.Puts()
 	res.Incr = incr
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	return res, nil
 }
 
@@ -401,6 +426,15 @@ func optionsFingerprint(o Options) string {
 	sb.WriteString("|")
 	sb.WriteString(strings.Join([]string{
 		strconv.FormatInt(o.MaxBlocks, 10), strconv.Itoa(o.MaxCallDepth), strconv.Itoa(o.MaxPartitions),
+	}, ","))
+	// Budgets re-key the cache even though degraded units are never
+	// written: a complete run under a tight budget is still a different
+	// computation boundary than an unbudgeted one.
+	sb.WriteString("|")
+	sb.WriteString(strings.Join([]string{
+		strconv.FormatInt(o.Budgets.PathSteps, 10),
+		strconv.FormatInt(o.Budgets.FuncBlocks, 10),
+		strconv.FormatInt(int64(o.Budgets.FuncTime), 10),
 	}, ","))
 	return sb.String()
 }

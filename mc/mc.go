@@ -16,10 +16,12 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/cc"
@@ -62,6 +64,9 @@ type Analyzer struct {
 	cacheStore   cache.Store
 	cacheMetrics *cache.Metrics
 	checkerFPs   []string
+	// timeout bounds each RunContext call (RunConfig.Timeout); zero
+	// means no bound beyond the caller's context.
+	timeout time.Duration
 }
 
 // NewAnalyzer returns an analyzer with default options.
@@ -75,12 +80,18 @@ func NewAnalyzer() *Analyzer {
 }
 
 // SetOptions replaces the engine options.
+//
+// Deprecated: use Configure with RunConfig.Options; SetOptions
+// remains as a thin wrapper (see the migration table in README.md).
 func (a *Analyzer) SetOptions(o Options) { a.opts = o }
 
 // SetParallelism sets the number of workers used for pass-1 parsing
 // and concurrent checker execution. n <= 0 restores the default
 // (runtime.GOMAXPROCS). Any value yields bit-identical results; see
 // DESIGN.md §5 "Engine parallelism".
+//
+// Deprecated: use Configure with RunConfig.Jobs; SetParallelism
+// remains as a thin wrapper.
 func (a *Analyzer) SetParallelism(n int) {
 	if n < 0 {
 		n = 0
@@ -201,15 +212,50 @@ type Result struct {
 	// Incr reports what the cache-aware run replayed versus analyzed
 	// live; nil when the cache is disabled.
 	Incr *IncrStats
+	// Failures lists checkers that panicked mid-run (a metal action or
+	// Go-callout bug). A failed checker keeps the reports it emitted
+	// before crashing; the remaining checkers run to completion.
+	Failures []*CheckerFailure
+	// Degraded reports that some traversal was truncated — a budget
+	// tripped or the context was cancelled. Degradations records
+	// exactly what was cut. Degraded results are never cached.
+	Degraded     bool
+	Degradations []DegradeEvent
 }
 
-// Run parses everything (pass 1 fans out over a worker pool),
+// Run is RunContext with a background context.
+//
+// Deprecated: use RunContext so analyses are cancellable and
+// deadline-bounded; Run remains as a thin wrapper (see the migration
+// table in README.md).
+func (a *Analyzer) Run() (*Result, error) { return a.RunContext(context.Background()) }
+
+// RunContext parses everything (pass 1 fans out over a worker pool),
 // assembles the program, and applies each loaded checker (engines run
 // concurrently, ordered into phases around the composition barrier).
 // Results are merged deterministically in checker load order, so the
 // output is bit-identical at every parallelism level; see DESIGN.md §5
 // "Engine parallelism".
-func (a *Analyzer) Run() (*Result, error) {
+//
+// The context cancels the analysis mid-traversal: the engines stop at
+// the next governance poll (within ~256 blocks), and RunContext
+// returns the partial Result alongside ctx.Err(). The partial result
+// carries a DegradeCancelled record per interrupted checker, so
+// callers can distinguish "complete" from "cut short". A checker that
+// panics is contained: it lands in Result.Failures and the remaining
+// checkers finish normally (DESIGN.md §9).
+func (a *Analyzer) RunContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if a.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, a.timeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(a.srcs)+len(a.files) == 0 {
 		return nil, fmt.Errorf("no sources added")
 	}
@@ -217,7 +263,7 @@ func (a *Analyzer) Run() (*Result, error) {
 		return nil, fmt.Errorf("no checkers loaded")
 	}
 	if a.cacheStore != nil {
-		return a.runCached()
+		return a.runCached(ctx)
 	}
 	files, err := a.parseSources()
 	if err != nil {
@@ -237,7 +283,7 @@ func (a *Analyzer) Run() (*Result, error) {
 		engines[i] = core.NewEngineShared(p, c, a.opts, a.shared)
 	}
 	for _, phase := range core.PlanPhases(a.checkers) {
-		a.runPhase(engines, phase)
+		a.runPhase(ctx, engines, phase)
 	}
 
 	res := &Result{
@@ -258,11 +304,27 @@ func (a *Analyzer) Run() (*Result, error) {
 		}
 		res.Stats[c.Name] = en.Stats
 		res.Engines[c.Name] = en
+		collectGovernance(res, en)
 	}
 	if a.history != nil {
 		res.Reports = a.history.Suppress(res.Reports)
 	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	return res, nil
+}
+
+// collectGovernance folds one engine's failure/degradation records
+// into the result.
+func collectGovernance(res *Result, en *core.Engine) {
+	if en.Failure != nil {
+		res.Failures = append(res.Failures, en.Failure)
+	}
+	if len(en.Degradations) > 0 {
+		res.Degradations = append(res.Degradations, en.Degradations...)
+		res.Degraded = true
+	}
 }
 
 // Ranked returns the reports ordered by the generic ranking criteria

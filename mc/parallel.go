@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -91,10 +92,12 @@ func (a *Analyzer) sortedMarks() []markEntry {
 
 // runPhase executes one phase's engines, at most a.parallelism() at a
 // time. Slots are acquired in load order, so -j 1 degenerates to the
-// exact sequential schedule.
-func (a *Analyzer) runPhase(engines []*core.Engine, phase []int) {
+// exact sequential schedule. Each engine polls ctx during traversal;
+// panics are contained per engine inside RunContext (governance
+// layer), so a crashing checker never kills a worker goroutine.
+func (a *Analyzer) runPhase(ctx context.Context, engines []*core.Engine, phase []int) {
 	if len(phase) == 1 {
-		engines[phase[0]].Run()
+		engines[phase[0]].RunContext(ctx)
 		return
 	}
 	sem := make(chan struct{}, a.parallelism())
@@ -105,7 +108,7 @@ func (a *Analyzer) runPhase(engines []*core.Engine, phase []int) {
 		go func(en *core.Engine) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			en.Run()
+			en.RunContext(ctx)
 		}(engines[i])
 	}
 	wg.Wait()
