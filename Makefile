@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet staticcheck build test race bench-parallel bench-incr bench-gov clean
+.PHONY: check fmt vet staticcheck build test race bench-parallel bench-incr bench-gov bench-hotpath bench-micro profile clean
 
 check: fmt vet staticcheck build race
 
@@ -55,6 +55,26 @@ bench-incr:
 bench-gov:
 	$(GO) run ./cmd/mcbench -exp gov
 
+# Hot-path ablation (DESIGN.md §10): default engine vs all four
+# optimizations disabled, full checker suite at -j 1 and -j 8; dies on
+# any output difference. Writes BENCH_hotpath.json.
+bench-hotpath:
+	$(GO) run ./cmd/mcbench -exp hotpath
+
+# Microbenchmarks for the §10 hot paths (match memoization, block
+# traversal, instance clone). -benchtime 100x keeps the target quick
+# enough for CI; drop the override for stable local numbers.
+bench-micro:
+	$(GO) test -run '^$$' -bench 'BenchmarkBaseMatch|BenchmarkBlockTraversal|BenchmarkInstanceClone' \
+		-benchtime 100x ./internal/pattern/ ./internal/core/
+
+# CPU + allocation profiles of a full suite run (written to pprof/).
+# Inspect with: go tool pprof pprof/mcbench.cpu
+profile:
+	mkdir -p pprof
+	$(GO) run ./cmd/mcbench -cpuprofile pprof/mcbench.cpu -memprofile pprof/mcbench.mem -exp hotpath
+
 clean:
-	rm -f BENCH_parallel.json BENCH_incremental.json BENCH_governance.json
+	rm -f BENCH_parallel.json BENCH_incremental.json BENCH_governance.json BENCH_hotpath.json
+	rm -rf pprof
 	$(GO) clean ./...

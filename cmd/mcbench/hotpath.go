@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+
+	"repro/internal/workload"
+	"repro/mc"
+)
+
+// expHotpath measures the hot-path engine optimizations (DESIGN.md
+// §10) as an ablation: the full bundled checker suite over the E11
+// seeded tree with all four optimizations toggled off ("baseline") vs
+// the default engine ("optimized"), at -j 1 and -j 8. The two
+// configurations must produce byte-identical ranked output — the
+// optimizations are pure strength reductions — and the speedup and
+// allocation series land in BENCH_hotpath.json so CI can track them.
+
+type hotRun struct {
+	Config  string  `json:"config"` // "baseline" or "optimized"
+	Jobs    int     `json:"jobs"`
+	Seconds float64 `json:"seconds"` // fastest trial
+	Allocs  uint64  `json:"allocs"`  // heap allocations for one whole suite run
+	Output  string  `json:"output_sha256"`
+}
+
+type hotBench struct {
+	Experiment string   `json:"experiment"`
+	Workload   string   `json:"workload"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Trials     int      `json:"trials"`
+	Runs       []hotRun `json:"runs"`
+	// SpeedupJ1/J8 are the median over paired trials of the
+	// baseline/optimized wall-clock ratio at each parallelism level
+	// (each trial runs both configs back to back, so host load drift
+	// cancels within the pair); AllocReduction is 1 -
+	// optimized/baseline allocations at -j 1 (allocation counts are
+	// schedule-independent up to pool noise, so one level suffices).
+	SpeedupJ1      float64 `json:"speedup_j1"`
+	SpeedupJ8      float64 `json:"speedup_j8"`
+	AllocReduction float64 `json:"alloc_reduction"`
+	Identical      bool    `json:"output_identical"`
+}
+
+// hotTrials is the number of interleaved baseline/optimized trial
+// pairs per parallelism level.
+const hotTrials = 8
+
+// hotTrial runs the suite cold (fresh analyzer, no persistent cache)
+// once. A GC beforehand levels the heap state the trial starts from.
+func hotTrial(srcs map[string]string, jobs int, opts *mc.Options) (float64, uint64, string) {
+	runtime.GC()
+	d, a, dig := suiteAnalyze(srcs, jobs, opts)
+	return d.Seconds(), a, dig
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func expHotpath() {
+	srcs, _ := workload.MixedTree(4, 25, 2002)
+
+	baseline := mc.DefaultOptions()
+	baseline.MatchMemo = false
+	baseline.BlockFilter = false
+	baseline.TupleIntern = false
+	baseline.LeanAlloc = false
+	optimized := mc.DefaultOptions()
+
+	bench := hotBench{
+		Experiment: "hotpath-ablation",
+		Workload:   "MixedTree(4,25,2002), full bundled checker suite",
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Trials:     hotTrials,
+	}
+
+	speedups := map[int]float64{}
+	var allocRed float64
+	fmt.Println("config     jobs   seconds      allocs  output")
+	for _, j := range []int{1, 8} {
+		base := hotRun{Config: "baseline", Jobs: j}
+		opt := hotRun{Config: "optimized", Jobs: j}
+		var ratios []float64
+		for t := 0; t < hotTrials; t++ {
+			// One paired trial: baseline then optimized, back to back,
+			// so the pair sees the same host conditions and the ratio
+			// is meaningful even when the machine is loaded.
+			bs, ba, bd := hotTrial(srcs, j, &baseline)
+			ts, ta, td := hotTrial(srcs, j, &optimized)
+			if t == 0 {
+				base.Seconds, base.Allocs, base.Output = bs, ba, bd
+				opt.Seconds, opt.Allocs, opt.Output = ts, ta, td
+			} else {
+				if bd != base.Output || td != opt.Output {
+					die(fmt.Errorf("hotpath -j %d: output varied across trials", j))
+				}
+				if bs < base.Seconds {
+					base.Seconds = bs
+				}
+				if ts < opt.Seconds {
+					opt.Seconds = ts
+				}
+				if ba < base.Allocs {
+					base.Allocs = ba
+				}
+				if ta < opt.Allocs {
+					opt.Allocs = ta
+				}
+			}
+			ratios = append(ratios, bs/ts)
+		}
+		speedups[j] = median(ratios)
+		if j == 1 {
+			allocRed = 1 - float64(opt.Allocs)/float64(base.Allocs)
+		}
+		for _, r := range []hotRun{base, opt} {
+			bench.Runs = append(bench.Runs, r)
+			fmt.Printf("%-9s  %4d  %8.3f  %10d  %s\n", r.Config, r.Jobs, r.Seconds, r.Allocs, r.Output[:12])
+		}
+	}
+
+	// The optimizations must not perturb output: every run — both
+	// configs, both parallelism levels — digests identically.
+	ref := bench.Runs[0].Output
+	bench.Identical = true
+	for _, r := range bench.Runs {
+		if r.Output != ref {
+			bench.Identical = false
+		}
+	}
+	if !bench.Identical {
+		die(fmt.Errorf("hotpath: optimized output differs from baseline — optimization changed results"))
+	}
+
+	bench.SpeedupJ1 = speedups[1]
+	bench.SpeedupJ8 = speedups[8]
+	bench.AllocReduction = allocRed
+
+	fmt.Printf("speedup (median of %d paired trials): %.2fx at -j 1, %.2fx at -j 8; allocations: %.1f%% fewer; output identical: %v\n",
+		hotTrials, bench.SpeedupJ1, bench.SpeedupJ8, 100*bench.AllocReduction, bench.Identical)
+
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		die(err)
+	}
+	if err := os.WriteFile("BENCH_hotpath.json", append(data, '\n'), 0o644); err != nil {
+		die(err)
+	}
+	fmt.Println("wrote BENCH_hotpath.json")
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metal"
 	"repro/internal/pattern"
+	"repro/internal/profiling"
 	"repro/internal/prog"
 	"repro/internal/rank"
 	"repro/internal/report"
@@ -55,6 +56,7 @@ var experiments = []struct {
 	{"e11", "end-to-end: full checker suite precision/recall on a seeded tree", expE11},
 	{"e12", "§8 history: cross-version suppression isolates new bugs", expE12},
 	{"par", "engine parallelism: wall-clock vs -j on the E11 workload (writes BENCH_parallel.json)", expPar},
+	{"hotpath", "hot-path ablation: memoized matching + block pre-filters vs unoptimized engine (writes BENCH_hotpath.json)", expHotpath},
 	{"incr", "incremental replay: warm-vs-cold live analyses per edit on the E11 workload (writes BENCH_incremental.json)", expIncr},
 	{"gov", "governance overhead: Run() vs RunContext+budgets on the E11 workload (writes BENCH_governance.json)", expGov},
 }
@@ -66,7 +68,16 @@ var jobsFlag int
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 	flag.IntVar(&jobsFlag, "j", 0, "extra worker count for the par experiment's sweep (0 = defaults 1,2,4,8)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation (heap) profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcbench:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	want := map[string]bool{}
 	if *exp != "all" {
@@ -85,7 +96,8 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "mcbench: no such experiment (ids: f1-f6, t1, t2, e1-e10)")
+		stopProf()
+		fmt.Fprintln(os.Stderr, "mcbench: no such experiment (ids: f1-f6, t1, t2, e1-e12, par, hotpath, incr, gov)")
 		os.Exit(2)
 	}
 }

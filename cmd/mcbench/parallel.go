@@ -21,25 +21,35 @@ import (
 type parRun struct {
 	Jobs      int     `json:"jobs"`
 	Seconds   float64 `json:"seconds"`
-	Speedup   float64 `json:"speedup"`
+	Speedup   float64 `json:"speedup,omitempty"`
 	Output    string  `json:"output_sha256"`
 	Identical bool    `json:"identical_to_j1"`
 }
 
 type parBench struct {
-	Experiment string   `json:"experiment"`
-	Workload   string   `json:"workload"`
-	NumCPU     int      `json:"num_cpu"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Runs       []parRun `json:"runs"`
+	Experiment string `json:"experiment"`
+	Workload   string `json:"workload"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Constrained is set when the host has a single usable core:
+	// every -j level then runs the same serial schedule, so speedup
+	// ratios are scheduler noise and are omitted from the runs.
+	Constrained bool     `json:"constrained_host,omitempty"`
+	Runs        []parRun `json:"runs"`
 }
 
-// parAnalyze runs the full bundled suite at the given parallelism and
-// returns the elapsed wall-clock plus a digest of the complete ranked,
-// why-traced output (what a user would diff).
-func parAnalyze(srcs map[string]string, jobs int) (time.Duration, string) {
+// suiteAnalyze runs the full bundled suite over srcs at the given
+// parallelism and engine options (nil means the analyzer default) and
+// returns the elapsed wall clock, the heap allocation count
+// (runtime.MemStats.Mallocs delta, single-run cost of the whole
+// analysis), and a digest of the complete ranked, why-traced output
+// (what a user would diff).
+func suiteAnalyze(srcs map[string]string, jobs int, opts *mc.Options) (time.Duration, uint64, string) {
 	a := mc.NewAnalyzer()
 	a.SetParallelism(jobs)
+	if opts != nil {
+		a.SetOptions(*opts)
+	}
 	for name, src := range srcs {
 		a.AddSource(name, src)
 	}
@@ -49,9 +59,12 @@ func parAnalyze(srcs map[string]string, jobs int) (time.Duration, string) {
 		}
 	}
 	a.MarkFunction("net_wait", "blocking")
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	res, err := a.Run()
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
 	if err != nil {
 		die(err)
 	}
@@ -62,7 +75,14 @@ func parAnalyze(srcs map[string]string, jobs int) (time.Duration, string) {
 	for _, g := range res.Grouped() {
 		fmt.Fprintf(&sb, "%s %.3f %d\n", g.Rule, g.Z, len(g.Reports))
 	}
-	return elapsed, fmt.Sprintf("%x", sha256.Sum256([]byte(sb.String())))
+	return elapsed, after.Mallocs - before.Mallocs, fmt.Sprintf("%x", sha256.Sum256([]byte(sb.String())))
+}
+
+// parAnalyze keeps expPar's original shape: default options, wall
+// clock plus output digest.
+func parAnalyze(srcs map[string]string, jobs int) (time.Duration, string) {
+	elapsed, _, digest := suiteAnalyze(srcs, jobs, nil)
+	return elapsed, digest
 }
 
 func die(err error) {
@@ -86,14 +106,18 @@ func expPar() {
 	}
 
 	bench := parBench{
-		Experiment: "parallel-scaling",
-		Workload:   "MixedTree(4,25,2002), full bundled checker suite",
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Experiment:  "parallel-scaling",
+		Workload:    "MixedTree(4,25,2002), full bundled checker suite",
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Constrained: runtime.NumCPU() == 1 || runtime.GOMAXPROCS(0) == 1,
 	}
 	var baseSec float64
 	var baseDigest string
 	fmt.Printf("cores: %d (GOMAXPROCS %d)\n", bench.NumCPU, bench.GOMAXPROCS)
+	if bench.Constrained {
+		fmt.Println("single-core host: all -j levels run serially; speedups omitted")
+	}
 	fmt.Println("jobs   seconds   speedup  identical")
 	for _, j := range sweep {
 		// Best of three trials to damp scheduler noise.
@@ -114,12 +138,16 @@ func expPar() {
 		run := parRun{
 			Jobs:      j,
 			Seconds:   sec,
-			Speedup:   baseSec / sec,
 			Output:    digest,
 			Identical: digest == baseDigest,
 		}
+		speedup := "      --"
+		if !bench.Constrained {
+			run.Speedup = baseSec / sec
+			speedup = fmt.Sprintf("%7.2fx", run.Speedup)
+		}
 		bench.Runs = append(bench.Runs, run)
-		fmt.Printf("%4d  %8.3f  %7.2fx  %v\n", j, run.Seconds, run.Speedup, run.Identical)
+		fmt.Printf("%4d  %8.3f  %s  %v\n", j, run.Seconds, speedup, run.Identical)
 	}
 	for _, r := range bench.Runs {
 		if !r.Identical {

@@ -27,6 +27,7 @@ import (
 	"syscall"
 
 	"repro/internal/checkers"
+	"repro/internal/profiling"
 	"repro/mc"
 )
 
@@ -52,6 +53,8 @@ func main() {
 		pathSteps    = flag.Int64("budget-path-steps", 0, "per-path program-point budget; a tripped budget truncates the path and flags the run degraded (0 = unbounded)")
 		funcBlocks   = flag.Int64("budget-func-blocks", 0, "per-root block-visit budget (0 = unbounded)")
 		funcTime     = flag.Duration("budget-func-time", 0, "per-root wall-clock budget (0 = unbounded)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: xgcc [flags] file.c ...")
@@ -70,6 +73,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xgcc: no input files (try -list, or: xgcc -checker free file.c)")
 		os.Exit(2)
 	}
+
+	// Every exit path must flush the profiles: the normal returns run
+	// the defer, while fatal() and the explicit os.Exit sites (which
+	// skip defers) call the idempotent stopProf themselves.
+	if sp, err := profiling.Start(*cpuprofile, *memprofile); err != nil {
+		fatal(err)
+	} else {
+		stopProf = sp
+	}
+	defer stopProf()
 
 	a := mc.NewAnalyzer()
 	opts := mc.DefaultOptions()
@@ -176,6 +189,7 @@ func main() {
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintln(os.Stderr, "xgcc: analysis cancelled:", err)
+			stopProf()
 			os.Exit(3)
 		}
 		fatal(err)
@@ -200,6 +214,7 @@ func main() {
 			}
 		}
 		if *exitCode && len(res.Reports) > 0 {
+			stopProf()
 			os.Exit(1)
 		}
 		return
@@ -249,9 +264,14 @@ func main() {
 		}
 	}
 	if *exitCode && len(res.Reports) > 0 {
+		stopProf()
 		os.Exit(1)
 	}
 }
+
+// stopProf flushes any active profiles; fatal and the explicit os.Exit
+// sites call it because os.Exit skips deferred functions.
+var stopProf = func() {}
 
 // reportJSON is the machine-readable report shape.
 type reportJSON struct {
@@ -390,5 +410,6 @@ func atomicWrite(path string, data []byte) error {
 // distinct from -exit-code's "findings" exit 1.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "xgcc:", err)
+	stopProf()
 	os.Exit(2)
 }

@@ -192,7 +192,7 @@ func builtinActions() map[string]ActionFunc {
 				msg = strings.Replace(msg, "%s", ctx.argString(a), 1)
 			}
 			if ctx.Inst != nil {
-				ctx.Inst.Trace = append(ctx.Inst.Trace, fmt.Sprintf("%s: %s", ctx.Pos, msg))
+				ctx.Inst.trace = ctx.Inst.trace.push(fmt.Sprintf("%s: %s", ctx.Pos, msg))
 			}
 		},
 	}

@@ -39,6 +39,29 @@ type Options struct {
 	// MaxPartitions caps the disjoint exit-state partitions built at a
 	// call return (§6.3 step 5).
 	MaxPartitions int
+	// MatchMemo memoizes the path-independent syntactic half of each
+	// pattern match per (transition, program point) in funcInfo, so
+	// later paths through a point only re-check binding compatibility
+	// (DESIGN.md §10). Semantics-preserving; off only for ablation.
+	MatchMemo bool
+	// BlockFilter skips pattern dispatch for state refs none of whose
+	// transitions can syntactically fire at any point of the current
+	// block (DESIGN.md §10). Semantics-preserving; off only for
+	// ablation.
+	BlockFilter bool
+	// TupleIntern identifies state tuples by hash-consed integer ids
+	// instead of rendering their Key() string per cache lookup, and
+	// caches edgeSet.all()'s deterministic ordering between inserts
+	// (DESIGN.md §10). Off, every lookup re-renders and every all()
+	// re-sorts — the original behaviour, kept for ablation.
+	TupleIntern bool
+	// LeanAlloc enables the allocation-lean hot paths (DESIGN.md §10):
+	// instance clones share the trace as an immutable list instead of
+	// copying it, per-block summary maps are allocated on first use
+	// instead of eagerly, and each block's ExecOrder point expansion is
+	// computed once and reused across paths. Semantics-preserving; off
+	// only for ablation.
+	LeanAlloc bool
 	// Budgets bounds per-path and per-function traversal work
 	// (governance layer, DESIGN.md §9). Zero value = unlimited.
 	Budgets Budgets
@@ -53,6 +76,10 @@ func DefaultOptions() Options {
 		FPP:             true,
 		Synonyms:        true,
 		Kills:           true,
+		MatchMemo:       true,
+		BlockFilter:     true,
+		TupleIntern:     true,
+		LeanAlloc:       true,
 		MaxBlocks:       0,
 		MaxCallDepth:    64,
 		MaxPartitions:   16,
@@ -160,6 +187,12 @@ type Engine struct {
 	// transIdx indexes the checker's transitions by source state so
 	// the per-point hot loop avoids rescanning the transition list.
 	transIdx map[metal.StateRef][]*metal.Transition
+	// intern hash-conses state tuples for the summary caches
+	// (intern.go); one table per engine, engines are single-goroutine.
+	intern *interner
+	// filters holds each transition's syntactic pre-filter
+	// (prefilter.go).
+	filters map[*metal.Transition]transFilter
 }
 
 // NewEngine builds an engine for one checker over a program.
@@ -179,7 +212,9 @@ func NewEngineShared(p *prog.Program, c *metal.Checker, opts Options, shared *Sh
 		shared:    shared,
 		funcs:     map[*prog.Function]*funcInfo{},
 		actions:   builtinActions(),
+		intern:    newInterner(!opts.TupleIntern, !opts.LeanAlloc),
 	}
+	en.filters = buildFilters(c)
 	en.govern = opts.Budgets.Active()
 	en.Stats.Analyses = map[string]int{}
 	en.transIdx = map[metal.StateRef][]*metal.Transition{}
@@ -246,7 +281,7 @@ func (en *Engine) countRule(rule string, example bool) {
 func (en *Engine) funcInfo(fn *prog.Function) *funcInfo {
 	fi, ok := en.funcs[fn]
 	if !ok {
-		fi = newFuncInfo(fn.Graph)
+		fi = newFuncInfo(fn.Graph, en.intern)
 		en.funcs[fn] = fi
 	}
 	return fi
@@ -361,11 +396,22 @@ type blockRec struct {
 
 func instKey(varName, obj string) string { return varName + "|" + obj }
 
-func newBlockRec(sm *SM) *blockRec {
-	rec := &blockRec{entryG: sm.GState, entry: map[string]Tuple{}, killed: map[string]Tuple{}}
+// newBlockRec builds the traversal record; eager forces the ablation
+// baseline's unconditional map allocation (= !Options.LeanAlloc). The
+// lean path leaves entry/killed nil until needed — most traversals of
+// most blocks carry no active instances and kill nothing, and nil
+// maps read as empty everywhere the record is consumed.
+func newBlockRec(sm *SM, eager bool) *blockRec {
+	rec := &blockRec{entryG: sm.GState}
+	if eager {
+		rec.entry, rec.killed = map[string]Tuple{}, map[string]Tuple{}
+	}
 	for _, in := range sm.Active {
 		if in.Inactive {
 			continue
+		}
+		if rec.entry == nil {
+			rec.entry = map[string]Tuple{}
 		}
 		rec.entry[instKey(in.Var, in.Obj)] = instTuple(sm.GState, in)
 	}
@@ -373,12 +419,18 @@ func newBlockRec(sm *SM) *blockRec {
 }
 
 func (r *blockRec) clone() *blockRec {
-	out := &blockRec{entryG: r.entryG, fp: r.fp, entry: map[string]Tuple{}, killed: map[string]Tuple{}}
-	for k, v := range r.entry {
-		out.entry[k] = v
+	out := &blockRec{entryG: r.entryG, fp: r.fp}
+	if r.entry != nil {
+		out.entry = make(map[string]Tuple, len(r.entry))
+		for k, v := range r.entry {
+			out.entry[k] = v
+		}
 	}
-	for k, v := range r.killed {
-		out.killed[k] = v
+	if r.killed != nil {
+		out.killed = make(map[string]Tuple, len(r.killed))
+		for k, v := range r.killed {
+			out.killed[k] = v
+		}
 	}
 	out.createdKilled = append([]Tuple(nil), r.createdKilled...)
 	return out
@@ -389,6 +441,9 @@ func (r *blockRec) noteKill(g string, in *Instance) {
 	key := instKey(in.Var, in.Obj)
 	stop := Tuple{G: g, Var: in.Var, Obj: in.Obj, Val: StopVal, ObjExpr: in.ObjExpr}
 	if _, known := r.entry[key]; known {
+		if r.killed == nil {
+			r.killed = map[string]Tuple{}
+		}
 		r.killed[key] = stop
 	} else {
 		r.createdKilled = append(r.createdKilled, stop)
@@ -399,27 +454,43 @@ func (r *blockRec) noteKill(g string, in *Instance) {
 // Traversal
 // ---------------------------------------------------------------------------
 
+// nonParamLocals returns the function's non-parameter locals set,
+// memoized in funcInfo (the set is consulted on every path end and
+// every end-of-path pass).
+func (en *Engine) nonParamLocals(fn *prog.Function) map[string]bool {
+	fi := en.funcInfo(fn)
+	if fi.nonParam == nil || !en.Opts.LeanAlloc {
+		params := map[string]bool{}
+		for _, p := range fn.Decl.Params {
+			params[p.Name] = true
+		}
+		nonParam := map[string]bool{}
+		for name := range fn.Graph.Locals {
+			if !params[name] {
+				nonParam[name] = true
+			}
+		}
+		fi.nonParam = nonParam
+	}
+	return fi.nonParam
+}
+
 // localOmitFor builds the suffix-edge filter: objects mentioning the
 // function's non-parameter locals are omitted from suffix summaries
 // (Figure 5: "none of the suffix summaries record any information
-// about q because q is a local variable").
+// about q because q is a local variable"). Memoized per function.
 func (en *Engine) localOmitFor(fn *prog.Function) func(Tuple) bool {
-	params := map[string]bool{}
-	for _, p := range fn.Decl.Params {
-		params[p.Name] = true
-	}
-	nonParam := map[string]bool{}
-	for name := range fn.Graph.Locals {
-		if !params[name] {
-			nonParam[name] = true
+	fi := en.funcInfo(fn)
+	if fi.localOmit == nil || !en.Opts.LeanAlloc {
+		nonParam := en.nonParamLocals(fn)
+		fi.localOmit = func(t Tuple) bool {
+			if t.ObjExpr == nil {
+				return false
+			}
+			return mentionsAny(t.ObjExpr, nonParam)
 		}
 	}
-	return func(t Tuple) bool {
-		if t.ObjExpr == nil {
-			return false
-		}
-		return mentionsAny(t.ObjExpr, nonParam)
-	}
+	return fi.localOmit
 }
 
 // traverseBlock is the heart of Figure 4: the caching DFS. It is also
@@ -434,7 +505,8 @@ func (en *Engine) traverseBlock(st *pathState, b *cfg.Block) {
 		return
 	}
 	en.Stats.Blocks++
-	bi := en.funcInfo(st.fn).info(b)
+	fi := en.funcInfo(st.fn)
+	bi := fi.info(b)
 
 	// Block-level cache check (§5.2): drop every state tuple already
 	// covered by the block summary; abort the path when nothing
@@ -476,7 +548,7 @@ func (en *Engine) traverseBlock(st *pathState, b *cfg.Block) {
 	}
 
 	st.backtrace = append(st.backtrace, traceEntry{block: b, info: bi})
-	rec := newBlockRec(st.sm)
+	rec := newBlockRec(st.sm, !en.Opts.LeanAlloc)
 	rec.fp = fp
 
 	if b.Exit {
@@ -485,22 +557,39 @@ func (en *Engine) traverseBlock(st *pathState, b *cfg.Block) {
 		return
 	}
 
+	en.runFrom(st, b, fi, bi, rec, en.blockPoints(bi, b), 0)
+}
+
+// blockPoints returns the block's ExecOrder point expansion, cached in
+// the blockInfo under LeanAlloc (the expansion depends only on the
+// block; callers treat the slice as read-only).
+func (en *Engine) blockPoints(bi *blockInfo, b *cfg.Block) []cc.Expr {
+	if bi.pointsOK {
+		return bi.points
+	}
 	var points []cc.Expr
 	for _, e := range b.Exprs {
 		points = cc.ExecOrder(e, points)
 	}
-	en.runFrom(st, b, bi, rec, points, 0)
+	if en.Opts.LeanAlloc {
+		bi.points, bi.pointsOK = points, true
+	}
+	return points
 }
 
 // runFrom processes block points starting at index idx, then finishes
 // the block. Mid-block call returns with multiple disjoint exit states
 // fork here: each partition continues the remaining points
-// independently (§6.3 step 6).
-func (en *Engine) runFrom(st *pathState, b *cfg.Block, bi *blockInfo, rec *blockRec, points []cc.Expr, idx int) {
+// independently (§6.3 step 6). The pattern-match context is built at
+// most once per runFrom: its point-independent parts (types, callout
+// registry, block extras) are constant across the block's points, and
+// blocks whose pre-filter rejects every live state ref never build it.
+func (en *Engine) runFrom(st *pathState, b *cfg.Block, fi *funcInfo, bi *blockInfo, rec *blockRec, points []cc.Expr, idx int) {
+	disp := pointDispatch{en: en, st: st, b: b}
 	for i := idx; i < len(points); i++ {
 		pt := points[i]
 		en.Stats.Points++
-		fired := en.applyExtension(st, b, rec, pt)
+		fired := en.applyExtension(st, fi, bi, b, rec, &disp, pt, false)
 		if st.killPath {
 			en.finishBlock(st, b, bi, rec)
 			return
@@ -514,7 +603,7 @@ func (en *Engine) runFrom(st *pathState, b *cfg.Block, bi *blockInfo, rec *block
 			}
 		case *cc.CallExpr:
 			if !fired && en.Opts.Interprocedural {
-				if forked := en.followCall(st, b, bi, rec, x, points, i); forked {
+				if forked := en.followCall(st, b, fi, bi, rec, x, points, i); forked {
 					return
 				}
 			}
@@ -524,7 +613,7 @@ func (en *Engine) runFrom(st *pathState, b *cfg.Block, bi *blockInfo, rec *block
 	// synthetic point where return-statement patterns match (§4).
 	if b.IsReturn {
 		en.Stats.Points++
-		en.applyExtensionCtx(st, b, rec, b.ReturnX, true)
+		en.applyExtension(st, fi, bi, b, rec, &disp, b.ReturnX, true)
 		if st.killPath {
 			en.finishBlock(st, b, bi, rec)
 			return
@@ -777,74 +866,147 @@ func (en *Engine) matchCtx(st *pathState, b *cfg.Block, pt cc.Expr, endOfPath, r
 	return ctx
 }
 
+// pointDispatch lazily builds the pattern-match context for one
+// runFrom pass over a block's points. The context is allocated on
+// first use and shared by every point of the block — only Point and
+// ReturnPoint vary; everything else (types, callouts, Extra) is
+// constant per (path state, block).
+type pointDispatch struct {
+	en  *Engine
+	st  *pathState
+	b   *cfg.Block
+	ctx *pattern.Ctx
+}
+
+func (d *pointDispatch) context(pt cc.Expr, returnPoint bool) *pattern.Ctx {
+	if d.ctx == nil {
+		// Built at most once per block traversal under LeanAlloc; the
+		// point-independent parts (types, callouts, block extras) are
+		// constant across the block's points. The ablation resets the
+		// cached context per point (see applyExtension), rebuilding
+		// once per dispatch as the engine originally did.
+		d.ctx = d.en.matchCtx(d.st, d.b, nil, false, false)
+	}
+	d.ctx.Point = pt
+	d.ctx.ReturnPoint = returnPoint
+	return d.ctx
+}
+
+// noBindings is the shared empty prior for global-state dispatch.
+// Match and Bind never mutate their prior (they clone before
+// extending), so sharing one map is safe and saves an allocation per
+// transition attempt.
+var noBindings = pattern.Bindings{}
+
+// matchTrans matches one transition's pattern at ctx.Point against
+// the prior bindings. With MatchMemo, the path-independent syntactic
+// half is computed once per (transition, point) and memoized in
+// funcInfo; only the binding-compatibility half runs per path.
+func (en *Engine) matchTrans(fi *funcInfo, ctx *pattern.Ctx, tr *metal.Transition, prior pattern.Bindings) (pattern.Bindings, bool) {
+	if !en.Opts.MatchMemo || fi == nil {
+		return tr.Pat.Match(ctx, prior)
+	}
+	k := preKey{tr: tr, pt: ctx.Point, ret: ctx.ReturnPoint}
+	pv, ok := fi.pre[k]
+	if !ok {
+		pv.syn, pv.ok = pattern.PreMatch(tr.Pat, ctx)
+		fi.pre[k] = pv
+	}
+	if !pv.ok {
+		return nil, false
+	}
+	return pv.syn.Bind(ctx, prior)
+}
+
 // applyExtension runs the checker at one program point; it reports
 // whether any transition matched (used to decide whether to follow a
 // call: "The analysis does not follow calls to kfree because the
-// extension matches these calls", Figure 5 caption).
-func (en *Engine) applyExtension(st *pathState, b *cfg.Block, rec *blockRec, pt cc.Expr) bool {
-	return en.applyExtensionCtx(st, b, rec, pt, false)
-}
-
-// applyExtensionCtx is applyExtension with the synthetic-return-point
-// flavor: statement patterns like "{ return v }" match when
-// returnPoint is set.
-func (en *Engine) applyExtensionCtx(st *pathState, b *cfg.Block, rec *blockRec, pt cc.Expr, returnPoint bool) bool {
+// extension matches these calls", Figure 5 caption). With returnPoint
+// set it is the synthetic-return-point flavor: statement patterns
+// like "{ return v }" match there (§4).
+func (en *Engine) applyExtension(st *pathState, fi *funcInfo, bi *blockInfo, b *cfg.Block, rec *blockRec, disp *pointDispatch, pt cc.Expr, returnPoint bool) bool {
 	matched := false
-	ctx := en.matchCtx(st, b, pt, false, returnPoint)
+	filter := en.Opts.BlockFilter
+	if !en.Opts.LeanAlloc {
+		disp.ctx = nil // ablation: rebuild the context once per point
+	}
 
-	// Global-state transitions (including creation transitions).
-	for _, tr := range en.transIdx[metal.StateRef{Val: st.sm.GState}] {
-		bnd, ok := tr.Pat.Match(ctx, pattern.Bindings{})
-		if !ok {
-			continue
-		}
-		if tr.PathSpecific {
-			creationVar := tr.TrueDest.Var
-			if creationVar == "" {
-				creationVar = tr.FalseDest.Var
+	// Global-state transitions (including creation transitions). The
+	// pre-filter skips the whole loop when no transition sourced at
+	// the current global state can fire anywhere in this block.
+	if !filter || en.mayFire(bi, b, metal.StateRef{Val: st.sm.GState}) {
+		ctx := disp.context(pt, returnPoint)
+		for _, tr := range en.transIdx[metal.StateRef{Val: st.sm.GState}] {
+			bnd, ok := en.matchTrans(fi, ctx, tr, noBindings)
+			if !ok {
+				continue
 			}
-			if creationVar != "" {
-				if obj, ok := bnd[creationVar]; !ok || obj.Expr == nil || st.sm.Find(creationVar, cc.ExprKey(obj.Expr)) != nil {
+			if tr.PathSpecific {
+				creationVar := tr.TrueDest.Var
+				if creationVar == "" {
+					creationVar = tr.FalseDest.Var
+				}
+				if creationVar != "" {
+					if obj, ok := bnd[creationVar]; !ok || obj.Expr == nil || st.sm.Find(creationVar, cc.ExprKey(obj.Expr)) != nil {
+						continue
+					}
+				}
+				matched = true
+				st.pending = append(st.pending, pendingBranch{
+					tr: tr, bindings: bnd, neg: polarityOf(b, pt),
+				})
+				en.runTransitionActions(st, tr, bnd, pt, nil)
+				break
+			}
+			if tr.Dest.Var != "" {
+				// Creation transition: applies only when the object has
+				// no live instance ("the edge only applies when we know
+				// nothing about t", §5.2).
+				objBnd, ok := bnd[tr.Dest.Var]
+				if !ok || objBnd.Expr == nil {
 					continue
 				}
+				obj := cc.ExprKey(objBnd.Expr)
+				if st.sm.Find(tr.Dest.Var, obj) != nil {
+					continue
+				}
+				matched = true
+				var created *Instance
+				if !tr.Dest.IsStop() {
+					created = en.createInstance(st, rec, tr.Dest.Var, tr.Dest.Val, objBnd.Expr, pt, bnd)
+				}
+				// Actions on a creation transition see the new instance
+				// (so note()/incr() initialize its trace and data).
+				en.runTransitionActions(st, tr, bnd, pt, created)
+				break
 			}
+			// Pure global-state transition.
 			matched = true
-			st.pending = append(st.pending, pendingBranch{
-				tr: tr, bindings: bnd, neg: polarityOf(b, pt),
-			})
+			st.sm.GState = tr.Dest.Val
 			en.runTransitionActions(st, tr, bnd, pt, nil)
 			break
 		}
-		if tr.Dest.Var != "" {
-			// Creation transition: applies only when the object has
-			// no live instance ("the edge only applies when we know
-			// nothing about t", §5.2).
-			objBnd, ok := bnd[tr.Dest.Var]
-			if !ok || objBnd.Expr == nil {
-				continue
-			}
-			obj := cc.ExprKey(objBnd.Expr)
-			if st.sm.Find(tr.Dest.Var, obj) != nil {
-				continue
-			}
-			matched = true
-			var created *Instance
-			if !tr.Dest.IsStop() {
-				created = en.createInstance(st, rec, tr.Dest.Var, tr.Dest.Val, objBnd.Expr, pt, bnd)
-			}
-			// Actions on a creation transition see the new instance
-			// (so note()/incr() initialize its trace and data).
-			en.runTransitionActions(st, tr, bnd, pt, created)
-			break
-		}
-		// Pure global-state transition.
-		matched = true
-		st.sm.GState = tr.Dest.Val
-		en.runTransitionActions(st, tr, bnd, pt, nil)
-		break
 	}
 
-	// Variable-specific transitions.
+	// Variable-specific transitions. Pre-scan with the block filter:
+	// when no live instance's state ref can fire anywhere in this
+	// block, skip the snapshot and dispatch entirely. Sound because a
+	// block where nothing fires also changes no instance state.
+	if filter {
+		anyInst := false
+		for _, in := range st.sm.Active {
+			if in.Inactive || in.CreatedAt == pt {
+				continue
+			}
+			if en.mayFire(bi, b, metal.StateRef{Var: in.Var, Val: in.Val}) {
+				anyInst = true
+				break
+			}
+		}
+		if !anyInst {
+			return matched
+		}
+	}
 	snapshot := append([]*Instance(nil), st.sm.Active...)
 	for _, inst := range snapshot {
 		if inst.Inactive || inst.CreatedAt == pt {
@@ -853,9 +1015,15 @@ func (en *Engine) applyExtensionCtx(st *pathState, b *cfg.Block, rec *blockRec, 
 		if !en.stillActive(st, inst) {
 			continue
 		}
+		if filter && !en.mayFire(bi, b, metal.StateRef{Var: inst.Var, Val: inst.Val}) {
+			continue
+		}
+		var prior pattern.Bindings
 		for _, tr := range en.transIdx[metal.StateRef{Var: inst.Var, Val: inst.Val}] {
-			prior := pattern.Bindings{inst.Var: pattern.Binding{Expr: inst.ObjExpr}}
-			bnd, ok := tr.Pat.Match(ctx, prior)
+			if prior == nil {
+				prior = pattern.Bindings{inst.Var: pattern.Binding{Expr: inst.ObjExpr}}
+			}
+			bnd, ok := en.matchTrans(fi, disp.context(pt, returnPoint), tr, prior)
 			if !ok {
 				continue
 			}
@@ -883,7 +1051,7 @@ func (en *Engine) applyExtensionCtx(st *pathState, b *cfg.Block, rec *blockRec, 
 				for _, m := range st.sm.GroupMembers(inst) {
 					if m.Val == oldVal {
 						m.Val = tr.Dest.Val
-						m.Trace = append(m.Trace, fmt.Sprintf("%s: %s -> %s at %s",
+						m.trace = m.trace.push(fmt.Sprintf("%s: %s -> %s at %s",
 							posOf(pt), oldVal, tr.Dest.Val, cc.ExprString(pt)))
 					}
 				}
@@ -1012,9 +1180,10 @@ func (en *Engine) createInstance(st *pathState, rec *blockRec, varName, val stri
 		StartPos:  posOf(pt),
 		StartFunc: st.fn.Name,
 		CallDepth: st.callDepth,
+		copyTrace: !en.Opts.LeanAlloc,
 	}
 	if pt != nil {
-		inst.Trace = append(inst.Trace, fmt.Sprintf("%s: %s enters state %s at %s",
+		inst.trace = inst.trace.push(fmt.Sprintf("%s: %s enters state %s at %s",
 			posOf(pt), obj, val, cc.ExprString(pt)))
 	}
 	en.classifyScope(st, inst)
@@ -1118,7 +1287,7 @@ func (en *Engine) handleAssign(st *pathState, rec *blockRec, asg *cc.AssignExpr,
 			newInst.ObjExpr = asg.LHS
 			newInst.SynDepth = src.SynDepth + 1
 			newInst.CreatedAt = pt
-			newInst.Trace = append(newInst.Trace, fmt.Sprintf("%s: %s becomes a synonym of %s",
+			newInst.trace = newInst.trace.push(fmt.Sprintf("%s: %s becomes a synonym of %s",
 				posOf(pt), lhsKey, srcKey))
 			en.classifyScope(st, newInst)
 		}
@@ -1229,16 +1398,7 @@ func valueDependsOn(e cc.Expr, name string) bool {
 // scope or when the program terminates").
 func (en *Engine) endOfPath(st *pathState, rec *blockRec) {
 	isRoot := st.callDepth == 0
-	params := map[string]bool{}
-	for _, p := range st.fn.Decl.Params {
-		params[p.Name] = true
-	}
-	nonParam := map[string]bool{}
-	for name := range st.fn.Graph.Locals {
-		if !params[name] {
-			nonParam[name] = true
-		}
-	}
+	nonParam := en.nonParamLocals(st.fn)
 	ctx := en.matchCtx(st, nil, nil, true, false)
 
 	snapshot := append([]*Instance(nil), st.sm.Active...)
@@ -1250,8 +1410,14 @@ func (en *Engine) endOfPath(st *pathState, rec *blockRec) {
 		if !leavesScope {
 			continue
 		}
+		// The prior is identical for every transition of the instance;
+		// the ablation baseline rebuilds it per attempt as the
+		// pre-optimization loop did.
+		var prior pattern.Bindings
 		for _, tr := range en.transIdx[metal.StateRef{Var: inst.Var, Val: inst.Val}] {
-			prior := pattern.Bindings{inst.Var: pattern.Binding{Expr: inst.ObjExpr}}
+			if prior == nil || !en.Opts.LeanAlloc {
+				prior = pattern.Bindings{inst.Var: pattern.Binding{Expr: inst.ObjExpr}}
+			}
 			bnd, ok := tr.Pat.Match(ctx, prior)
 			if !ok {
 				continue
@@ -1267,7 +1433,11 @@ func (en *Engine) endOfPath(st *pathState, rec *blockRec) {
 	}
 	if isRoot {
 		for _, tr := range en.transIdx[metal.StateRef{Val: st.sm.GState}] {
-			bnd, ok := tr.Pat.Match(ctx, pattern.Bindings{})
+			empty := noBindings
+			if !en.Opts.LeanAlloc {
+				empty = pattern.Bindings{}
+			}
+			bnd, ok := tr.Pat.Match(ctx, empty)
 			if !ok {
 				continue
 			}
@@ -1318,7 +1488,7 @@ func (en *Engine) emitReport(ctx *ActionCtx, msg string) {
 			r.CallChain = d
 		}
 		r.Vars = identsOf(in.ObjExpr)
-		r.Trace = append(append([]string(nil), in.Trace...),
+		r.Trace = append(in.trace.strings(),
 			fmt.Sprintf("%s: %s", ctx.Pos, msg))
 	} else {
 		r.Start = ctx.Pos

@@ -166,11 +166,11 @@ func (en *Engine) ExportSummaries(fns []*prog.Function) *SummaryData {
 				}
 				bd := BlockSummaryData{
 					Block:    b.ID,
-					Trans:    edgeData(bi.trans),
-					Adds:     edgeData(bi.adds),
-					GState:   edgeData(bi.gstate),
-					SfxTrans: edgeData(bi.sfxTrans),
-					SfxAdds:  edgeData(bi.sfxAdds),
+					Trans:    edgeData(&bi.trans),
+					Adds:     edgeData(&bi.adds),
+					GState:   edgeData(&bi.gstate),
+					SfxTrans: edgeData(&bi.sfxTrans),
+					SfxAdds:  edgeData(&bi.sfxAdds),
 				}
 				if bd.Trans == nil && bd.Adds == nil && bd.GState == nil &&
 					bd.SfxTrans == nil && bd.SfxAdds == nil {
@@ -212,11 +212,11 @@ func (en *Engine) ImportSummaries(sd *SummaryData) {
 				continue
 			}
 			bi := fi.info(b)
-			importEdges(bi.trans, bd.Trans)
-			importEdges(bi.adds, bd.Adds)
-			importEdges(bi.gstate, bd.GState)
-			importEdges(bi.sfxTrans, bd.SfxTrans)
-			importEdges(bi.sfxAdds, bd.SfxAdds)
+			importEdges(&bi.trans, bd.Trans)
+			importEdges(&bi.adds, bd.Adds)
+			importEdges(&bi.gstate, bd.GState)
+			importEdges(&bi.sfxTrans, bd.SfxTrans)
+			importEdges(&bi.sfxAdds, bd.SfxAdds)
 		}
 	}
 }

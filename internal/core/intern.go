@@ -1,0 +1,78 @@
+package core
+
+// Tuple interning (DESIGN.md §10). The §5.2 cache-subsumption check
+// and the suffix-summary relaxation both key on state tuples, which
+// were originally identified by their rendered Key() strings — a
+// fmt.Sprintf per lookup on the hottest paths in the engine. The
+// interner hash-conses tuples into small integer ids per engine, so
+// edgeSet membership and fpSeen coverage become integer-map lookups.
+// The rendered string is still produced, but exactly once per unique
+// tuple: it stays the canonical identity (two tuples are the same
+// tuple iff their Key() strings are equal) and the deterministic sort
+// key for edgeSet.all(), so interning cannot perturb output order.
+
+// tid is an interned tuple id, unique within one engine.
+type tid int32
+
+// tupleKey is the hashable identity of a tuple's rendered Key(). It
+// is a cache key only: two distinct tupleKeys can render to the same
+// string (a Val already carrying a "/data" suffix), and then they
+// share a tid.
+type tupleKey struct {
+	g, varName, obj, val string
+	data                 int64
+}
+
+// interner hash-conses tuples. One per engine; engines run on a
+// single goroutine each, so no locking. It doubles as the per-engine
+// mode carrier for the summary structures (every edgeSet and blockInfo
+// already holds the interner): compat reproduces the pre-interning
+// render-per-lookup cost for the hotpath ablation, and eager restores
+// the original allocate-maps-up-front behaviour of the block caches.
+type interner struct {
+	ids   map[tupleKey]tid
+	byStr map[string]tid
+	strs  []string // tid -> rendered Key()
+	// compat (= !Options.TupleIntern) renders the Key() string on
+	// every lookup and re-sorts every all() call, as the string-keyed
+	// engine did.
+	compat bool
+	// eager (= !Options.LeanAlloc) makes newEdgeSet and newBlockInfo
+	// allocate their maps up front instead of on first insert, and
+	// disables the per-block point-expansion cache.
+	eager bool
+}
+
+func newInterner(compat, eager bool) *interner {
+	return &interner{ids: map[tupleKey]tid{}, byStr: map[string]tid{}, compat: compat, eager: eager}
+}
+
+// id interns the tuple, rendering its Key() string only on first
+// sight of the (g, var, obj, val, data) combination. In compat mode
+// the struct-key cache is bypassed: the string is rendered and hashed
+// on every call, exactly as the string-keyed engine paid per lookup.
+func (in *interner) id(t Tuple) tid {
+	if in.compat {
+		return in.idByStr(t.Key())
+	}
+	k := tupleKey{g: t.G, varName: t.Var, obj: t.Obj, val: t.Val, data: t.Data}
+	if id, ok := in.ids[k]; ok {
+		return id
+	}
+	id := in.idByStr(t.Key())
+	in.ids[k] = id
+	return id
+}
+
+func (in *interner) idByStr(s string) tid {
+	id, ok := in.byStr[s]
+	if !ok {
+		id = tid(len(in.strs))
+		in.strs = append(in.strs, s)
+		in.byStr[s] = id
+	}
+	return id
+}
+
+// key returns the rendered Key() string for an interned id.
+func (in *interner) key(id tid) string { return in.strs[id] }

@@ -17,7 +17,7 @@ import (
 // followCall handles a call program point. It returns true when the
 // traversal forked into multiple continuations (disjoint exit-state
 // partitions, §6.3 step 5-6) and the caller's loop must stop.
-func (en *Engine) followCall(st *pathState, b *cfg.Block, bi *blockInfo, rec *blockRec, call *cc.CallExpr, points []cc.Expr, idx int) bool {
+func (en *Engine) followCall(st *pathState, b *cfg.Block, fi *funcInfo, bi *blockInfo, rec *blockRec, call *cc.CallExpr, points []cc.Expr, idx int) bool {
 	callee := en.Prog.Resolve(st.fn, call)
 	if callee == nil || callee.Graph == nil {
 		// "By default, if the function's CFG is not available, the
@@ -103,13 +103,13 @@ func (en *Engine) followCall(st *pathState, b *cfg.Block, bi *blockInfo, rec *bl
 			en.Stats.FuncFollows++
 			en.Stats.Analyses[callee.Name]++
 			calleeFi.Analyses++
-			missKeys := map[string]bool{}
+			missIDs := map[tid]bool{}
 			for _, t := range missing {
-				missKeys[t.Key()] = true
+				missIDs[en.intern.id(t)] = true
 			}
 			calleeSM := &SM{GState: refined.GState}
 			for _, in := range refined.Active {
-				if in.Inactive || missKeys[instTuple(refined.GState, in).Key()] {
+				if in.Inactive || missIDs[en.intern.id(instTuple(refined.GState, in))] {
 					calleeSM.Active = append(calleeSM.Active, in.clone())
 				}
 			}
@@ -175,7 +175,7 @@ func (en *Engine) followCall(st *pathState, b *cfg.Block, bi *blockInfo, rec *bl
 		}
 		ns.sm = restored
 		if len(parts) > 1 {
-			en.runFrom(ns, b, bi, nrec, points, idx+1)
+			en.runFrom(ns, b, fi, bi, nrec, points, idx+1)
 			if pi == len(parts)-1 {
 				return true
 			}
@@ -225,8 +225,9 @@ func (en *Engine) partitionResults(refined *SM, summary, entryBI *blockInfo, inT
 			outsByG[g] = m
 		}
 		key := instKey(t.Var, t.Obj)
+		id := en.intern.id(t)
 		for _, prev := range m[key] {
-			if prev.Key() == t.Key() {
+			if en.intern.id(prev) == id {
 				return
 			}
 		}
@@ -338,11 +339,12 @@ func (en *Engine) restoreInstance(t Tuple, maps []argMap, caller, callee *prog.F
 		return nil
 	}
 	inst := &Instance{
-		Var:     t.Var,
-		Obj:     cc.ExprKey(objExpr),
-		ObjExpr: objExpr,
-		Val:     t.Val,
-		Data:    t.Data,
+		Var:       t.Var,
+		Obj:       cc.ExprKey(objExpr),
+		ObjExpr:   objExpr,
+		Val:       t.Val,
+		Data:      t.Data,
+		copyTrace: !en.Opts.LeanAlloc,
 	}
 	if prov := t.Prov; prov != nil {
 		inst.StartPos = prov.StartPos
@@ -352,7 +354,10 @@ func (en *Engine) restoreInstance(t Tuple, maps []argMap, caller, callee *prog.F
 		inst.CallDepth = prov.CallDepth
 		inst.Data = prov.Data
 		inst.Val = prov.Val
-		inst.Trace = append([]string(nil), prov.Trace...)
+		inst.trace = prov.trace
+		if inst.copyTrace {
+			inst.trace = prov.trace.deepCopy()
+		}
 	}
 	// The tuple's recorded value wins over provenance (the instance
 	// snapshot may predate later transitions).

@@ -1,0 +1,289 @@
+package core
+
+// Per-block transition pre-filters (DESIGN.md §10). Most checkers
+// watch for a handful of syntactic shapes — usually calls to a few
+// named functions — so most blocks cannot fire any transition of most
+// state refs. The engine derives, per transition, a conservative
+// description of the program points its pattern could possibly match
+// (root AST-node kind, callee name, return-statement), and per block a
+// cheap syntactic feature summary (which root kinds occur, which
+// functions are called by name, whether the block returns). A state
+// ref whose transitions all miss the block's features skips pattern
+// dispatch there entirely. The filter is sound-by-construction: every
+// atom below is implied by the structural requirements Base.Match
+// places on the target's root node, so a filtered-out dispatch could
+// never have matched.
+
+import (
+	"repro/internal/cc"
+	"repro/internal/cfg"
+	"repro/internal/metal"
+	"repro/internal/pattern"
+)
+
+// stateRefKey keys the per-block fire cache.
+type stateRefKey = metal.StateRef
+
+// preKey identifies one memoized syntactic match: a transition's
+// pattern at a program point (ret distinguishes the synthetic
+// return-statement dispatch, which offers the same expression under
+// ReturnPoint semantics).
+type preKey struct {
+	tr  *metal.Transition
+	pt  cc.Expr
+	ret bool
+}
+
+// preVal is the memoized result: the syntactic match (nil when the
+// pattern cannot match at the point for any prior bindings).
+type preVal struct {
+	syn pattern.SynMatch
+	ok  bool
+}
+
+// Root node kinds for the pre-filter. Every matchExpr template case
+// type-asserts the target to the template's own concrete node type,
+// so a template rooted at kind k only matches points of kind k.
+const (
+	kindAny int8 = iota - 1 // no constraint (hole at root)
+	kindCall
+	kindIdent
+	kindIntLit
+	kindFloatLit
+	kindCharLit
+	kindStrLit
+	kindUnary
+	kindBinary
+	kindAssign
+	kindCond
+	kindIndex
+	kindField
+	kindCast
+	kindSizeof
+	kindComma
+	kindCount // number of concrete kinds (mask width)
+)
+
+func kindOf(e cc.Expr) int8 {
+	switch e.(type) {
+	case *cc.CallExpr:
+		return kindCall
+	case *cc.Ident:
+		return kindIdent
+	case *cc.IntLit:
+		return kindIntLit
+	case *cc.FloatLit:
+		return kindFloatLit
+	case *cc.CharLit:
+		return kindCharLit
+	case *cc.StringLit:
+		return kindStrLit
+	case *cc.UnaryExpr:
+		return kindUnary
+	case *cc.BinaryExpr:
+		return kindBinary
+	case *cc.AssignExpr:
+		return kindAssign
+	case *cc.CondExpr:
+		return kindCond
+	case *cc.IndexExpr:
+		return kindIndex
+	case *cc.FieldExpr:
+		return kindField
+	case *cc.CastExpr:
+		return kindCast
+	case *cc.SizeofExpr:
+		return kindSizeof
+	case *cc.CommaExpr:
+		return kindComma
+	}
+	return kindAny
+}
+
+// filterAtom is one conjunctive requirement a pattern places on a
+// program point: a return-statement point, or an in-block point of a
+// specific root kind (optionally a call to a specific name). The zero
+// atom (kind == kindAny after construction) requires nothing.
+type filterAtom struct {
+	ret    bool
+	kind   int8
+	callee string
+}
+
+var anyAtom = filterAtom{kind: kindAny}
+
+// transFilter is the disjunction of a pattern's alternatives; an
+// empty alternative list means the pattern can never match at an
+// in-block or return point (e.g. ${0}, or pure $end_of_path$).
+type transFilter struct {
+	atoms []filterAtom
+}
+
+// conjoin merges two atoms; ok is false when they contradict.
+func conjoin(a, b filterAtom) (filterAtom, bool) {
+	if a == anyAtom {
+		return b, true
+	}
+	if b == anyAtom {
+		return a, true
+	}
+	if a.ret != b.ret {
+		// A return-statement pattern matches only ReturnPoint
+		// dispatches; an in-block shape pattern never does.
+		return filterAtom{}, false
+	}
+	if a.ret {
+		return a, true
+	}
+	if a.kind != b.kind {
+		return filterAtom{}, false
+	}
+	switch {
+	case a.callee == "":
+		return b, true
+	case b.callee == "" || a.callee == b.callee:
+		return a, true
+	}
+	return filterAtom{}, false
+}
+
+// filterOf computes the pattern's filter. Soundness invariant: if
+// p.Match(ctx, prior) can succeed at an in-block or return-statement
+// dispatch for ANY prior, some atom accepts that point.
+func filterOf(p pattern.Pattern) transFilter {
+	switch p := p.(type) {
+	case *pattern.Base:
+		return transFilter{atoms: []filterAtom{baseAtom(p)}}
+	case *pattern.And:
+		fx, fy := filterOf(p.X), filterOf(p.Y)
+		var atoms []filterAtom
+		for _, a := range fx.atoms {
+			for _, b := range fy.atoms {
+				if c, ok := conjoin(a, b); ok {
+					atoms = append(atoms, c)
+				}
+			}
+		}
+		return transFilter{atoms: atoms}
+	case *pattern.Or:
+		fx, fy := filterOf(p.X), filterOf(p.Y)
+		return transFilter{atoms: append(append([]filterAtom(nil), fx.atoms...), fy.atoms...)}
+	case *pattern.Callout:
+		if p.Const && !p.ConstVal {
+			return transFilter{} // ${0}: never matches
+		}
+		return transFilter{atoms: []filterAtom{anyAtom}}
+	case pattern.EndOfPath:
+		// In-block and return-point dispatches always carry
+		// EndOfPath == false; the exit-block endOfPath pass dispatches
+		// without the filter.
+		return transFilter{}
+	default:
+		return transFilter{atoms: []filterAtom{anyAtom}}
+	}
+}
+
+// baseAtom derives a Base pattern's root requirement. Only the
+// template's root node constrains the point: a hole root matches any
+// expression (hole type checks are prior-dependent and so unusable
+// here), while a concrete root node forces the point's kind, and an
+// identifier-called template forces the callee name.
+func baseAtom(b *pattern.Base) filterAtom {
+	if tmpl, isReturn := b.Template(); !isReturn {
+		switch t := tmpl.(type) {
+		case *cc.HoleExpr:
+			return anyAtom
+		case *cc.CallExpr:
+			atom := filterAtom{kind: kindCall}
+			if id, ok := t.Fun.(*cc.Ident); ok {
+				atom.callee = id.Name
+			}
+			return atom
+		default:
+			return filterAtom{kind: kindOf(tmpl)}
+		}
+	}
+	return filterAtom{ret: true}
+}
+
+// blockFeats summarizes a block's program points for the filter.
+type blockFeats struct {
+	kinds    uint32 // bit i set iff some point has root kind i
+	callees  map[string]bool
+	isReturn bool
+}
+
+// featsOf computes the block's features from the same ExecOrder
+// expansion runFrom dispatches over (passed in so the cached
+// per-block expansion is reused).
+func featsOf(b *cfg.Block, points []cc.Expr) *blockFeats {
+	f := &blockFeats{isReturn: b.IsReturn}
+	for _, pt := range points {
+		k := kindOf(pt)
+		if k >= 0 {
+			f.kinds |= 1 << uint(k)
+		}
+		if call, ok := pt.(*cc.CallExpr); ok {
+			if id, ok := call.Fun.(*cc.Ident); ok {
+				if f.callees == nil {
+					f.callees = map[string]bool{}
+				}
+				f.callees[id.Name] = true
+			}
+		}
+	}
+	return f
+}
+
+// admits reports whether some point of the block can satisfy the atom.
+func (f *blockFeats) admits(a filterAtom) bool {
+	if a == anyAtom {
+		return true
+	}
+	if a.ret {
+		return f.isReturn
+	}
+	if f.kinds&(1<<uint(a.kind)) == 0 {
+		return false
+	}
+	return a.callee == "" || f.callees[a.callee]
+}
+
+// buildFilters precomputes every transition's filter at engine
+// construction.
+func buildFilters(c *metal.Checker) map[*metal.Transition]transFilter {
+	out := make(map[*metal.Transition]transFilter, len(c.Transitions))
+	for _, tr := range c.Transitions {
+		out[tr] = filterOf(tr.Pat)
+	}
+	return out
+}
+
+// mayFire reports whether any transition sourced at ref can possibly
+// match at some point of the block. Results are cached per (block,
+// ref); block features are computed on the block's first traversal.
+func (en *Engine) mayFire(bi *blockInfo, b *cfg.Block, ref metal.StateRef) bool {
+	if v, ok := bi.fire[ref]; ok {
+		return v
+	}
+	if bi.feats == nil {
+		bi.feats = featsOf(b, en.blockPoints(bi, b))
+	}
+	fire := false
+	for _, tr := range en.transIdx[ref] {
+		for _, a := range en.filters[tr].atoms {
+			if bi.feats.admits(a) {
+				fire = true
+				break
+			}
+		}
+		if fire {
+			break
+		}
+	}
+	if bi.fire == nil {
+		bi.fire = map[stateRefKey]bool{}
+	}
+	bi.fire[ref] = fire
+	return fire
+}

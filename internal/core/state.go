@@ -47,7 +47,17 @@ type Instance struct {
 	StartFunc string
 	Conds     int
 	CallDepth int
-	Trace     []string
+	// trace is the instance's event history as an immutable cons list:
+	// clones share the list with the original, so cloning an instance
+	// (the hottest allocation site in the DFS — every path split and
+	// every call boundary clones the whole Active set) copies one
+	// pointer instead of the accumulated history. Rendered to []string
+	// only when a report is emitted.
+	trace *traceList
+	// copyTrace (= !Options.LeanAlloc, stamped at creation) makes
+	// clone deep-copy the history instead, reproducing the original
+	// per-clone cost for the hotpath ablation.
+	copyTrace bool
 
 	// Scope classification of the object.
 	GlobalObj bool
@@ -58,11 +68,56 @@ type Instance struct {
 	Inactive bool
 }
 
-// clone deep-copies an instance.
+// clone copies an instance. The trace cons list is immutable and
+// shared, so the struct copy is the whole operation (unless the
+// ablation flag forces the old deep copy).
 func (in *Instance) clone() *Instance {
 	cp := *in
-	cp.Trace = append([]string(nil), in.Trace...)
+	if in.copyTrace {
+		cp.trace = in.trace.deepCopy()
+	}
 	return &cp
+}
+
+// traceList is an immutable persistent list of trace messages, newest
+// first. Pushing never mutates existing cells, so any number of
+// cloned instances can share a tail.
+type traceList struct {
+	prev *traceList
+	msg  string
+	n    int
+}
+
+// push returns a new list with msg appended. Works on a nil receiver.
+func (t *traceList) push(msg string) *traceList {
+	n := 1
+	if t != nil {
+		n = t.n + 1
+	}
+	return &traceList{prev: t, msg: msg, n: n}
+}
+
+// deepCopy clones every cell (ablation mode only — the whole point of
+// the cons list is that sharing makes this unnecessary).
+func (t *traceList) deepCopy() *traceList {
+	if t == nil {
+		return nil
+	}
+	cp := *t
+	cp.prev = t.prev.deepCopy()
+	return &cp
+}
+
+// strings renders the list oldest-first.
+func (t *traceList) strings() []string {
+	if t == nil {
+		return nil
+	}
+	out := make([]string, t.n)
+	for c := t; c != nil; c = c.prev {
+		out[c.n-1] = c.msg
+	}
+	return out
 }
 
 // TupleVal renders the value component including the data value when

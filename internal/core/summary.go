@@ -5,92 +5,185 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cc"
 	"repro/internal/cfg"
 )
 
 // edge is a directed summary edge between state tuples (§5.2).
 // Transition edges start at a concrete tuple; add edges start at an
-// "(g, v:t->unknown)" tuple.
+// "(g, v:t->unknown)" tuple. fromID/toID are the interned tuple ids,
+// populated when the edge is stored in an edgeSet.
 type edge struct {
-	From, To Tuple
+	From, To     Tuple
+	fromID, toID tid
 }
 
-// edgeSet stores edges indexed by start-tuple key, deduplicated by
-// (from, to) key pair.
+// edgeSet stores edges indexed by interned start-tuple id,
+// deduplicated by (from, to) id pair. Identity and deterministic
+// ordering follow the rendered Key() strings exactly (the interner
+// assigns one id per distinct rendered string), so replacing the
+// string keys with ids cannot change what is stored or the order
+// all() yields.
 type edgeSet struct {
-	byFrom map[string][]edge
-	seen   map[string]bool
+	in     *interner
+	byFrom map[tid][]edge
+	count  int
+	// seenStr dedups in compat mode: the key is the rendered
+	// "from->to" string, concatenated per attempt, exactly as the
+	// string-keyed implementation paid. The interned path instead
+	// scans the byFrom bucket (buckets hold a handful of edges).
+	seenStr map[string]bool
+	// sorted caches all()'s deterministic ordering between adds; the
+	// relaxation loop calls all() far more often than it adds.
+	sorted []edge
+	dirty  bool
 }
 
-func newEdgeSet() *edgeSet {
-	return &edgeSet{byFrom: map[string][]edge{}, seen: map[string]bool{}}
+func newEdgeSet(in *interner) *edgeSet {
+	s := &edgeSet{}
+	s.init(in)
+	return s
 }
 
-// add inserts the edge; it reports whether the edge was new.
-func (s *edgeSet) add(e edge) bool {
-	key := e.From.Key() + ">" + e.To.Key()
-	if s.seen[key] {
-		return false
+// init prepares an edgeSet in place (blockInfo embeds five by value).
+func (s *edgeSet) init(in *interner) {
+	s.in = in
+	if in.eager {
+		s.byFrom = map[tid][]edge{}
+		if in.compat {
+			s.seenStr = map[string]bool{}
+		}
 	}
-	s.seen[key] = true
-	s.byFrom[e.From.Key()] = append(s.byFrom[e.From.Key()], e)
+}
+
+// add inserts the edge; it reports whether the edge was new. The
+// index maps are created on the first insert: most blocks of most
+// checkers never store an edge (their patterns never fire there), so
+// eager maps are pure overhead.
+func (s *edgeSet) add(e edge) bool {
+	if s.in.compat {
+		kf, kt := e.From.Key(), e.To.Key()
+		key := kf + "->" + kt
+		if s.seenStr[key] {
+			return false
+		}
+		if s.seenStr == nil {
+			s.seenStr = map[string]bool{}
+		}
+		s.seenStr[key] = true
+		e.fromID, e.toID = s.in.idByStr(kf), s.in.idByStr(kt)
+	} else {
+		e.fromID = s.in.id(e.From)
+		e.toID = s.in.id(e.To)
+		for _, prev := range s.byFrom[e.fromID] {
+			if prev.toID == e.toID {
+				return false
+			}
+		}
+	}
+	if s.byFrom == nil {
+		s.byFrom = map[tid][]edge{}
+	}
+	s.byFrom[e.fromID] = append(s.byFrom[e.fromID], e)
+	s.count++
+	s.dirty = true
 	return true
 }
 
 // hasFrom reports whether any edge starts at the given tuple.
-func (s *edgeSet) hasFrom(t Tuple) bool { return len(s.byFrom[t.Key()]) > 0 }
+func (s *edgeSet) hasFrom(t Tuple) bool { return len(s.byFrom[s.in.id(t)]) > 0 }
 
 // from returns the edges starting at the tuple.
-func (s *edgeSet) from(t Tuple) []edge { return s.byFrom[t.Key()] }
+func (s *edgeSet) from(t Tuple) []edge { return s.byFrom[s.in.id(t)] }
 
-// all returns every edge in deterministic order.
+// all returns every edge in deterministic order (ascending rendered
+// start-tuple key, insertion order within a key — the original
+// string-keyed ordering). The slice is cached until the next add;
+// callers must not mutate it.
 func (s *edgeSet) all() []edge {
-	keys := make([]string, 0, len(s.byFrom))
-	for k := range s.byFrom {
-		keys = append(keys, k)
+	if !s.dirty && !s.in.compat {
+		return s.sorted
 	}
-	sort.Strings(keys)
-	var out []edge
-	for _, k := range keys {
-		out = append(out, s.byFrom[k]...)
+	if len(s.byFrom) == 1 && !s.in.compat {
+		// Single start tuple — the common shape — needs no id slice
+		// and no sort; the bucket is already in insertion order.
+		for _, edges := range s.byFrom {
+			s.sorted = append([]edge(nil), edges...)
+		}
+		s.dirty = false
+		return s.sorted
 	}
+	ids := make([]tid, 0, len(s.byFrom))
+	n := 0
+	for id, edges := range s.byFrom {
+		ids = append(ids, id)
+		n += len(edges)
+	}
+	sort.Slice(ids, func(i, j int) bool { return s.in.key(ids[i]) < s.in.key(ids[j]) })
+	out := make([]edge, 0, n)
+	for _, id := range ids {
+		out = append(out, s.byFrom[id]...)
+	}
+	if s.in.compat {
+		// Ablation mode: rebuild per call, as the string-keyed
+		// implementation did.
+		return out
+	}
+	s.sorted = out
+	s.dirty = false
 	return out
 }
 
-func (s *edgeSet) len() int { return len(s.seen) }
+func (s *edgeSet) len() int { return s.count }
 
 // blockInfo is the per-block cache: the block summary (transition +
 // add edges, §5.2) and the suffix summary (§6.2).
 type blockInfo struct {
-	trans *edgeSet
-	adds  *edgeSet
+	// The five edge sets are value fields: one blockInfo allocation
+	// covers all of them (they used to be five separate allocations
+	// per block per engine, a top allocation site).
+	trans edgeSet
+	adds  edgeSet
 	// gstate records the "(g,<>) -> (g',<>)" global-instance edge of
 	// every traversal (§6.2 relaxes add edges through it). It is kept
 	// separate from trans because the placeholder tuple participates
 	// in cache subsumption only when it actually was the extension
 	// state.
-	gstate *edgeSet
+	gstate edgeSet
 	// Suffix summaries: edges from this block's entry to the
 	// function's exit.
-	sfxTrans *edgeSet
-	sfxAdds  *edgeSet
+	sfxTrans edgeSet
+	sfxAdds  edgeSet
 	// fpSeen refines cache coverage by the FPP fact fingerprint at
 	// block entry: a tuple only counts as covered under the same
 	// facts, so pruning decisions downstream stay consistent (the
 	// paper's footnote-1 gap). Bounded by fpCacheCap; past the cap
 	// coverage falls back to tuple-only (the paper's behaviour).
-	fpSeen map[string]map[string]bool
+	fpSeen map[string]map[tid]bool
+	in     *interner
+	// feats caches the block's syntactic features for the transition
+	// pre-filter (see prefilter.go); nil until first traversal.
+	feats *blockFeats
+	// fire caches, per state ref, whether any of the ref's
+	// transitions can possibly fire at a point of this block.
+	fire map[stateRefKey]bool
+	// points caches the block's ExecOrder program-point expansion
+	// (LeanAlloc): the expansion is a pure function of the block, but
+	// was rebuilt on every traversal. pointsOK distinguishes an empty
+	// expansion from "not computed yet".
+	points   []cc.Expr
+	pointsOK bool
 }
 
-func newBlockInfo() *blockInfo {
-	return &blockInfo{
-		trans:    newEdgeSet(),
-		adds:     newEdgeSet(),
-		gstate:   newEdgeSet(),
-		sfxTrans: newEdgeSet(),
-		sfxAdds:  newEdgeSet(),
-		fpSeen:   map[string]map[string]bool{},
+func newBlockInfo(in *interner) *blockInfo {
+	bi := &blockInfo{in: in}
+	for _, s := range []*edgeSet{&bi.trans, &bi.adds, &bi.gstate, &bi.sfxTrans, &bi.sfxAdds} {
+		s.init(in)
 	}
+	if in.eager {
+		bi.fpSeen = map[string]map[tid]bool{}
+	}
+	return bi
 }
 
 // fpCacheCap bounds the distinct FPP fingerprints tracked per block.
@@ -103,7 +196,7 @@ func (b *blockInfo) coversUnder(t Tuple, fp string) bool {
 	if fp == "" || len(b.fpSeen) > fpCacheCap {
 		return b.covers(t)
 	}
-	return b.fpSeen[fp][t.Key()]
+	return b.fpSeen[fp][b.in.id(t)]
 }
 
 // noteSeen records that the tuple reached this block under the given
@@ -112,12 +205,15 @@ func (b *blockInfo) noteSeen(t Tuple, fp string) {
 	if fp == "" {
 		return
 	}
+	if b.fpSeen == nil {
+		b.fpSeen = map[string]map[tid]bool{}
+	}
 	m := b.fpSeen[fp]
 	if m == nil {
-		m = map[string]bool{}
+		m = map[tid]bool{}
 		b.fpSeen[fp] = m
 	}
-	m[t.Key()] = true
+	m[b.in.id(t)] = true
 }
 
 // covers reports whether the block summary already contains the tuple
@@ -129,15 +225,26 @@ func (b *blockInfo) covers(t Tuple) bool { return b.trans.hasFrom(t) }
 // suffix summary.
 type funcInfo struct {
 	blocks map[*cfg.Block]*blockInfo
+	in     *interner
 	// Analyses counts full traversals started on this function's CFG
 	// (experiment E2: memoization avoids re-traversal).
 	Analyses int
+	// pre memoizes syntactic match results per (transition, program
+	// point): the path-independent half of a pattern match, shared
+	// across every path and instance that reaches the point
+	// (DESIGN.md §10).
+	pre map[preKey]preVal
+	// nonParam and localOmit memoize the function's scope filters:
+	// the non-parameter locals set and the suffix-summary omission
+	// predicate built from it (both were rebuilt per use before).
+	nonParam  map[string]bool
+	localOmit func(Tuple) bool
 }
 
-func newFuncInfo(g *cfg.Graph) *funcInfo {
-	fi := &funcInfo{blocks: map[*cfg.Block]*blockInfo{}}
+func newFuncInfo(g *cfg.Graph, in *interner) *funcInfo {
+	fi := &funcInfo{blocks: map[*cfg.Block]*blockInfo{}, in: in, pre: map[preKey]preVal{}}
 	for _, b := range g.Blocks {
-		fi.blocks[b] = newBlockInfo()
+		fi.blocks[b] = newBlockInfo(in)
 	}
 	return fi
 }
@@ -145,7 +252,7 @@ func newFuncInfo(g *cfg.Graph) *funcInfo {
 func (fi *funcInfo) info(b *cfg.Block) *blockInfo {
 	bi, ok := fi.blocks[b]
 	if !ok {
-		bi = newBlockInfo()
+		bi = newBlockInfo(fi.in)
 		fi.blocks[b] = bi
 	}
 	return bi
@@ -258,7 +365,7 @@ func combineSuffix(cur, next *blockInfo, localOmit func(Tuple) bool) bool {
 			}
 			continue
 		}
-		for _, pe := range edgesEndingAt(cur.trans, et.From) {
+		for _, pe := range edgesEndingAt(&cur.trans, et.From) {
 			ne := edge{From: pe.From, To: et.To}
 			if suffixSkip(ne, localOmit) {
 				continue
@@ -267,7 +374,7 @@ func combineSuffix(cur, next *blockInfo, localOmit func(Tuple) bool) bool {
 				grew = true
 			}
 		}
-		for _, pe := range edgesEndingAt(cur.adds, et.From) {
+		for _, pe := range edgesEndingAt(&cur.adds, et.From) {
 			ne := edge{From: pe.From, To: et.To}
 			if suffixSkip(ne, localOmit) {
 				continue
@@ -300,11 +407,11 @@ func combineSuffix(cur, next *blockInfo, localOmit func(Tuple) bool) bool {
 
 // edgesEndingAt returns the edges in s whose end tuple equals t.
 func edgesEndingAt(s *edgeSet, t Tuple) []edge {
-	key := t.Key()
+	id := s.in.id(t)
 	var out []edge
 	for _, edges := range s.byFrom {
 		for _, e := range edges {
-			if e.To.Key() == key {
+			if e.toID == id {
 				out = append(out, e)
 			}
 		}
@@ -345,7 +452,7 @@ func (en *Engine) BlockSummaryString(fnName string, b *cfg.Block) string {
 		return ""
 	}
 	bi := en.funcInfo(fn).info(b)
-	return formatEdges(bi.trans, bi.adds)
+	return formatEdges(&bi.trans, &bi.adds)
 }
 
 // SuffixSummaryString renders the suffix summary (the middle field of
@@ -356,7 +463,7 @@ func (en *Engine) SuffixSummaryString(fnName string, b *cfg.Block) string {
 		return ""
 	}
 	bi := en.funcInfo(fn).info(b)
-	return formatEdges(bi.sfxTrans, bi.sfxAdds)
+	return formatEdges(&bi.sfxTrans, &bi.sfxAdds)
 }
 
 // SupergraphString renders every block of a function with its block

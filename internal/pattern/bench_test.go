@@ -1,0 +1,67 @@
+package pattern
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+)
+
+// BenchmarkBaseMatch compares the monolithic Match against the
+// PreMatch/Bind split the engine memoizes (DESIGN.md §10): the
+// syntactic half runs once per program point, so repeat visits — every
+// additional path through a block — pay only Bind.
+func BenchmarkBaseMatch(b *testing.B) {
+	holes := map[string]*Hole{
+		"fn": {Name: "fn", Meta: MetaAnyFnCall},
+		"e":  {Name: "e", Meta: MetaAnyExpr},
+	}
+	p, err := CompileBase("spin_lock(e)", holes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := cc.ParseExprString("spin_lock(flags + 1)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := &Ctx{Point: target, Callouts: Builtins()}
+	prior := Bindings{}
+
+	b.Run("match", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := p.Match(ctx, prior); !ok {
+				b.Fatal("match failed")
+			}
+		}
+	})
+	b.Run("prematch+bind", func(b *testing.B) {
+		b.ReportAllocs()
+		syn, ok := PreMatch(p, ctx)
+		if !ok {
+			b.Fatal("prematch failed")
+		}
+		for i := 0; i < b.N; i++ {
+			if _, ok := syn.Bind(ctx, prior); !ok {
+				b.Fatal("bind failed")
+			}
+		}
+	})
+	b.Run("bind-per-path", func(b *testing.B) {
+		// The engine's actual steady state: PreMatch amortized away,
+		// Bind evaluated under a per-path prior.
+		b.ReportAllocs()
+		syn, ok := PreMatch(p, ctx)
+		if !ok {
+			b.Fatal("prematch failed")
+		}
+		bnd, ok := syn.Bind(ctx, prior)
+		if !ok {
+			b.Fatal("bind failed")
+		}
+		for i := 0; i < b.N; i++ {
+			if _, ok := syn.Bind(ctx, bnd); !ok {
+				b.Fatal("bind failed")
+			}
+		}
+	})
+}

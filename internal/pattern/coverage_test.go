@@ -218,6 +218,201 @@ func TestCalloutMissingFunction(t *testing.T) {
 	}
 }
 
+// bindingsEqual compares two binding maps structurally.
+func bindingsEqual(a, b Bindings) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok {
+			return false
+		}
+		if (va.Expr == nil) != (vb.Expr == nil) || (va.Expr != nil && !cc.EqualExpr(va.Expr, vb.Expr)) {
+			return false
+		}
+		if len(va.Args) != len(vb.Args) {
+			return false
+		}
+		for i := range va.Args {
+			if !cc.EqualExpr(va.Args[i], vb.Args[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// assertAgree checks the PreMatch/Bind contract against Match for one
+// (pattern, ctx, prior): PreMatch failure implies Match fails for this
+// prior, and PreMatch success implies Bind reproduces Match exactly.
+func assertAgree(t *testing.T, label string, p Pattern, ctx *Ctx, prior Bindings) {
+	t.Helper()
+	wantB, wantOK := p.Match(ctx, prior)
+	syn, synOK := PreMatch(p, ctx)
+	if !synOK {
+		if wantOK {
+			t.Errorf("%s: PreMatch=false but Match succeeds", label)
+		}
+		return
+	}
+	gotB, gotOK := syn.Bind(ctx, prior)
+	if gotOK != wantOK {
+		t.Errorf("%s: Bind=%v, Match=%v", label, gotOK, wantOK)
+		return
+	}
+	if gotOK && !bindingsEqual(gotB, wantB) {
+		t.Errorf("%s: Bind bindings %v != Match bindings %v", label, gotB, wantB)
+	}
+}
+
+// TestPreMatchAgreesWithMatch drives the syntactic/binding split
+// through the full node-kind corpus, under the empty prior and under
+// priors that both agree and conflict with what each hole would bind.
+func TestPreMatchAgreesWithMatch(t *testing.T) {
+	holes := map[string]*Hole{
+		"e": {Name: "e", Meta: MetaAnyExpr},
+	}
+	corpus := []struct {
+		pattern string
+		targets []string
+	}{
+		{"x + e", []string{"x + 1", "x + y", "y + 1", "x - 1"}},
+		{"-e", []string{"-5", "-x", "+x", "~x"}},
+		{"e++", []string{"i++", "++i", "i--"}},
+		{"a[e]", []string{"a[0]", "a[i + 1]", "b[0]", "a"}},
+		{"s.len", []string{"s.len", "s->len", "t.len", "s.cap"}},
+		{"s->len", []string{"s->len", "s.len"}},
+		{"e ? 1 : 0", []string{"x ? 1 : 0", "x ? 0 : 1"}},
+		{"f(e, 2)", []string{"f(1, 2)", "f(x, 2)", "f(1)", "f(1, 3)", "g(1, 2)"}},
+		{"(char)e", []string{"(char)x", "(int)x", "x"}},
+		{"sizeof e", []string{"sizeof x", "sizeof(int)"}},
+		{"sizeof(long)", []string{"sizeof(long)", "sizeof(short)", "sizeof x"}},
+		{`"lit"`, []string{`"lit"`, `"other"`, "x"}},
+		{"'a'", []string{"'a'", "'b'", "97"}},
+		{"1.5", []string{"1.5", "1.25"}},
+		{"e = 3", []string{"x = 3", "a[0] = 3", "x = 4", "x += 3"}},
+		{"e += 1", []string{"x += 1", "x -= 1", "x = 1"}},
+		{"e + e", []string{"x + x", "x + y", "a[0] + a[0]"}},
+		{"a = 1, e", []string{"a = 1, b", "a = 1"}},
+	}
+	xExpr, _ := cc.ParseExprString("x")
+	zExpr, _ := cc.ParseExprString("z")
+	priors := []Bindings{
+		{},
+		{"e": {Expr: xExpr}},
+		{"e": {Expr: zExpr}},
+		{"e": {Args: []cc.Expr{xExpr}}}, // args-kind binding against an expr hole
+	}
+	for _, c := range corpus {
+		p, err := CompileBase(c.pattern, holes)
+		if err != nil {
+			t.Fatalf("compile %q: %v", c.pattern, err)
+		}
+		for _, src := range c.targets {
+			e, err := cc.ParseExprString(src)
+			if err != nil {
+				t.Fatalf("parse %q: %v", src, err)
+			}
+			ctx := &Ctx{Point: e, Callouts: Builtins()}
+			for i, prior := range priors {
+				assertAgree(t, c.pattern+" vs "+src+" prior#"+string(rune('0'+i)), p, ctx, prior)
+			}
+		}
+	}
+}
+
+// TestPreMatchDeferredTypeCheck pins the subtle asymmetry the split
+// must preserve: Match skips the hole type constraint when the prior
+// already binds the hole (repeated-hole equality replaces it), so a
+// type-failing point can still match under the right prior.
+func TestPreMatchDeferredTypeCheck(t *testing.T) {
+	holes := map[string]*Hole{"fn": {Name: "fn", Meta: MetaAnyFnCall}}
+	p, err := CompileBase("fn + 1", holes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, _ := cc.ParseExprString("y + 1")
+	yExpr, _ := cc.ParseExprString("y")
+	ctx := &Ctx{Point: target, Callouts: Builtins()}
+
+	// Empty prior: y is not a call, the type check fails both ways.
+	assertAgree(t, "fn+1 empty prior", p, ctx, Bindings{})
+	if _, ok := p.Match(ctx, Bindings{}); ok {
+		t.Fatal("sanity: unbound any_fn_call must reject a non-call")
+	}
+	// Prior binds fn to y: equality replaces the type check and the
+	// match succeeds — PreMatch must not have ruled the point out.
+	assertAgree(t, "fn+1 bound prior", p, ctx, Bindings{"fn": {Expr: yExpr}})
+	if _, ok := p.Match(ctx, Bindings{"fn": {Expr: yExpr}}); !ok {
+		t.Fatal("sanity: prior-bound hole skips the type check in Match")
+	}
+}
+
+// TestPreMatchCombinators covers &&/||/callout/end-of-path/return
+// composition of the split.
+func TestPreMatchCombinators(t *testing.T) {
+	holes := map[string]*Hole{
+		"v":    {Name: "v", Meta: MetaAnyExpr},
+		"fn":   {Name: "fn", Meta: MetaAnyFnCall},
+		"args": {Name: "args", Meta: MetaAnyArgs},
+	}
+	base, _ := CompileBase("kfree(v)", holes)
+	anyCall, _ := CompileBase("fn(args)", holes)
+	isKfree, _ := CompileCallout(`mc_is_call_to(fn, "kfree")`)
+	isGets, _ := CompileCallout(`mc_is_call_to(fn, "gets")`)
+	yes, _ := CompileCallout("1")
+	no, _ := CompileCallout("0")
+	repeated, _ := CompileBase("pair(first(args), second(args))", holes)
+	retV, _ := CompileBase("return v", holes)
+	retBare, _ := CompileBase("return", holes)
+
+	pats := []Pattern{
+		base, anyCall, repeated, retV, retBare, yes, no, EndOfPath{},
+		&And{X: anyCall, Y: isKfree},
+		&And{X: anyCall, Y: isGets},
+		&And{X: base, Y: no},
+		&Or{X: base, Y: anyCall},
+		&Or{X: no, Y: anyCall},
+		&Or{X: no, Y: no},
+		&And{X: &Or{X: base, Y: anyCall}, Y: isKfree},
+	}
+	targets := []string{"kfree(p)", "kfree(p, q)", "gets(buf)", "x + 1", "f()"}
+	pExpr, _ := cc.ParseExprString("p")
+	qExpr, _ := cc.ParseExprString("q")
+	priors := []Bindings{
+		{},
+		{"v": {Expr: pExpr}},
+		{"v": {Expr: qExpr}},
+		{"args": {Args: []cc.Expr{pExpr}}},
+	}
+	for _, p := range pats {
+		for _, src := range targets {
+			e, err := cc.ParseExprString(src)
+			if err != nil {
+				t.Fatalf("parse %q: %v", src, err)
+			}
+			for _, ctx := range []*Ctx{
+				{Point: e, Callouts: Builtins()},
+				{Point: e, Callouts: Builtins(), ReturnPoint: true},
+				{Point: e, Callouts: Builtins(), EndOfPath: true},
+			} {
+				for i, prior := range priors {
+					assertAgree(t, p.String()+" vs "+src+" prior#"+string(rune('0'+i)), p, ctx, prior)
+				}
+			}
+		}
+		// Bare-return and end-of-path shapes: nil point.
+		for _, ctx := range []*Ctx{
+			{Callouts: Builtins(), ReturnPoint: true},
+			{Callouts: Builtins(), EndOfPath: true},
+			{Callouts: Builtins()},
+		} {
+			assertAgree(t, p.String()+" vs <nil point>", p, ctx, Bindings{})
+		}
+	}
+}
+
 func TestSubstituteHolesCoverage(t *testing.T) {
 	holes := map[string]*Hole{"v": {Name: "v", Meta: MetaAnyExpr}}
 	// Exercise the remaining substitution arms: cond, comma, cast,

@@ -253,6 +253,17 @@ func (b *Base) Match(ctx *Ctx, prior Bindings) (Bindings, bool) {
 // String implements Pattern.
 func (b *Base) String() string { return "{ " + b.Src + " }" }
 
+// Template exposes the pattern's structural template and whether it
+// is a return-statement pattern (then the template is the returned
+// expression's, nil for bare "return;"). The engine's block
+// pre-filter reads the root node through this.
+func (b *Base) Template() (cc.Expr, bool) {
+	if b.isReturn {
+		return b.retTmpl, true
+	}
+	return b.Tmpl, false
+}
+
 // matchExpr matches the template against the target, extending bnd.
 func matchExpr(ctx *Ctx, tmpl, target cc.Expr, bnd Bindings) bool {
 	if tmpl == nil || target == nil {

@@ -1,0 +1,345 @@
+package pattern
+
+import (
+	"repro/internal/cc"
+)
+
+// This file splits Match into its two halves (DESIGN.md §10): the
+// path-independent syntactic part — does the pattern's shape fit the
+// AST at this program point, and what would each hole bind to — and
+// the path-dependent binding part — are those bindings compatible with
+// the prior bindings a particular state-machine instance carries. The
+// engine memoizes the syntactic half per (transition, program point)
+// in funcInfo, so paths after the first pay only the Bind cost.
+//
+// The contract, pinned by the pattern coverage tests: for every ctx
+// and prior,
+//
+//	PreMatch(p, ctx) = (nil, false)  =>  p.Match(ctx, prior) fails
+//	PreMatch(p, ctx) = (sm, true)    =>  sm.Bind(ctx, prior) ==
+//	                                     p.Match(ctx, prior)
+//
+// Callouts (${...}) can read extension state through ctx.Extra and the
+// shared annotation store, so they are never decided at PreMatch time:
+// their SynMatch defers the whole predicate to Bind.
+
+// SynMatch is the memoized syntactic half of a pattern match at one
+// program point. Bind completes the match against the path-dependent
+// prior bindings; it may be called any number of times, from the path
+// that populated the memo and from every later path through the point.
+type SynMatch interface {
+	Bind(ctx *Ctx, prior Bindings) (Bindings, bool)
+}
+
+// PreMatch computes the syntactic half of p's match at ctx.Point. A
+// false result means the pattern cannot match at this point regardless
+// of prior bindings. Only the point-shape parts of ctx are consulted
+// (Point, Types, ReturnPoint, EndOfPath); extension-dependent callouts
+// are deferred into the returned SynMatch.
+func PreMatch(p Pattern, ctx *Ctx) (SynMatch, bool) {
+	switch p := p.(type) {
+	case *Base:
+		return p.PreMatch(ctx)
+	case *And:
+		x, ok := PreMatch(p.X, ctx)
+		if !ok {
+			return nil, false
+		}
+		y, ok := PreMatch(p.Y, ctx)
+		if !ok {
+			return nil, false
+		}
+		return &andSyn{x: x, y: y}, true
+	case *Or:
+		x, okX := PreMatch(p.X, ctx)
+		y, okY := PreMatch(p.Y, ctx)
+		if !okX && !okY {
+			return nil, false
+		}
+		if !okX {
+			return y, true
+		}
+		if !okY {
+			return x, true
+		}
+		return &orSyn{x: x, y: y}, true
+	case *Callout:
+		if p.Const {
+			if !p.ConstVal {
+				return nil, false
+			}
+			return trivialSyn{}, true
+		}
+		// Non-constant callouts can read extension state; defer.
+		return deferSyn{p: p}, true
+	case EndOfPath:
+		if !ctx.EndOfPath {
+			return nil, false
+		}
+		return trivialSyn{}, true
+	default:
+		// Unknown pattern implementations fall back to a full deferred
+		// match; memoizing the wrapper is still sound.
+		return deferSyn{p: p}, true
+	}
+}
+
+// trivialSyn matches unconditionally with no new bindings.
+type trivialSyn struct{}
+
+func (trivialSyn) Bind(ctx *Ctx, prior Bindings) (Bindings, bool) { return prior.clone(), true }
+
+// deferSyn postpones the entire match to Bind time (callouts and
+// foreign Pattern implementations).
+type deferSyn struct{ p Pattern }
+
+func (d deferSyn) Bind(ctx *Ctx, prior Bindings) (Bindings, bool) { return d.p.Match(ctx, prior) }
+
+// andSyn chains bindings left to right, exactly as And.Match does.
+type andSyn struct{ x, y SynMatch }
+
+func (a *andSyn) Bind(ctx *Ctx, prior Bindings) (Bindings, bool) {
+	b1, ok := a.x.Bind(ctx, prior)
+	if !ok {
+		return nil, false
+	}
+	return a.y.Bind(ctx, b1)
+}
+
+// orSyn prefers the left alternative, exactly as Or.Match does.
+type orSyn struct{ x, y SynMatch }
+
+func (o *orSyn) Bind(ctx *Ctx, prior Bindings) (Bindings, bool) {
+	if b, ok := o.x.Bind(ctx, prior); ok {
+		return b, true
+	}
+	return o.y.Bind(ctx, prior)
+}
+
+// synBinding is one hole's syntactic result: what the hole would bind
+// to, plus whether its type constraint held. The type check is
+// deferred to Bind because Match skips it for holes the prior already
+// binds (repeated-hole equality replaces it), so a type-failing hole
+// is only fatal when the prior leaves the hole free.
+type synBinding struct {
+	name   string
+	expr   cc.Expr
+	args   []cc.Expr
+	isArgs bool
+	typeOK bool
+}
+
+// baseSyn is the syntactic match result of a Base pattern: the ordered
+// hole bindings the structural walk discovered.
+type baseSyn struct {
+	holes []synBinding
+}
+
+func (m *baseSyn) Bind(ctx *Ctx, prior Bindings) (Bindings, bool) {
+	// Verify compatibility first so the failure path allocates nothing.
+	for i := range m.holes {
+		h := &m.holes[i]
+		if prev, bound := prior[h.name]; bound {
+			if h.isArgs {
+				if !equalArgs(prev.Args, h.args) {
+					return nil, false
+				}
+			} else if prev.Expr == nil || !cc.EqualExpr(prev.Expr, h.expr) {
+				return nil, false
+			}
+			continue
+		}
+		if !h.typeOK {
+			return nil, false
+		}
+	}
+	bnd := prior.clone()
+	for i := range m.holes {
+		h := &m.holes[i]
+		if _, bound := bnd[h.name]; bound {
+			continue
+		}
+		if h.isArgs {
+			bnd[h.name] = Binding{Args: h.args}
+		} else {
+			bnd[h.name] = Binding{Expr: h.expr}
+		}
+	}
+	return bnd, true
+}
+
+func equalArgs(a, b []cc.Expr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !cc.EqualExpr(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// PreMatch computes the syntactic half of the base pattern's match:
+// the structural walk of Match with hole type checks recorded instead
+// of enforced. Repeated-hole equality inside the pattern is
+// prior-independent, so it is decided here.
+func (b *Base) PreMatch(ctx *Ctx) (SynMatch, bool) {
+	var tmpl cc.Expr
+	switch {
+	case b.isReturn:
+		if !ctx.ReturnPoint {
+			return nil, false
+		}
+		if b.retTmpl == nil {
+			if ctx.Point != nil {
+				return nil, false
+			}
+			return trivialSyn{}, true
+		}
+		if ctx.Point == nil {
+			return nil, false
+		}
+		tmpl = b.retTmpl
+	default:
+		if ctx.Point == nil || ctx.ReturnPoint {
+			return nil, false
+		}
+		tmpl = b.Tmpl
+	}
+	m := &baseSyn{}
+	if !preMatchExpr(ctx, tmpl, ctx.Point, m) {
+		return nil, false
+	}
+	if len(m.holes) == 0 {
+		return trivialSyn{}, true
+	}
+	return m, true
+}
+
+// preMatchExpr mirrors matchExpr with deferred hole handling.
+func preMatchExpr(ctx *Ctx, tmpl, target cc.Expr, m *baseSyn) bool {
+	if tmpl == nil || target == nil {
+		return tmpl == nil && target == nil
+	}
+	switch t := tmpl.(type) {
+	case *cc.HoleExpr:
+		return preMatchHole(ctx, t, target, m)
+	case *cc.Ident:
+		tg, ok := target.(*cc.Ident)
+		return ok && t.Name == tg.Name
+	case *cc.IntLit:
+		tg, ok := target.(*cc.IntLit)
+		return ok && t.Value == tg.Value
+	case *cc.FloatLit:
+		tg, ok := target.(*cc.FloatLit)
+		return ok && t.Text == tg.Text
+	case *cc.CharLit:
+		tg, ok := target.(*cc.CharLit)
+		return ok && t.Text == tg.Text
+	case *cc.StringLit:
+		tg, ok := target.(*cc.StringLit)
+		return ok && t.Text == tg.Text
+	case *cc.UnaryExpr:
+		tg, ok := target.(*cc.UnaryExpr)
+		return ok && t.Op == tg.Op && t.Postfix == tg.Postfix && preMatchExpr(ctx, t.X, tg.X, m)
+	case *cc.BinaryExpr:
+		tg, ok := target.(*cc.BinaryExpr)
+		return ok && t.Op == tg.Op && preMatchExpr(ctx, t.X, tg.X, m) && preMatchExpr(ctx, t.Y, tg.Y, m)
+	case *cc.AssignExpr:
+		tg, ok := target.(*cc.AssignExpr)
+		return ok && t.Op == tg.Op && preMatchExpr(ctx, t.LHS, tg.LHS, m) && preMatchExpr(ctx, t.RHS, tg.RHS, m)
+	case *cc.CondExpr:
+		tg, ok := target.(*cc.CondExpr)
+		return ok && preMatchExpr(ctx, t.Cond, tg.Cond, m) &&
+			preMatchExpr(ctx, t.Then, tg.Then, m) && preMatchExpr(ctx, t.Else, tg.Else, m)
+	case *cc.CallExpr:
+		tg, ok := target.(*cc.CallExpr)
+		if !ok {
+			return false
+		}
+		if h, isHole := t.Fun.(*cc.HoleExpr); isHole && MetaKind(h.Meta) == MetaAnyFnCall {
+			if !preMatchHole(ctx, h, tg, m) {
+				return false
+			}
+		} else if !preMatchExpr(ctx, t.Fun, tg.Fun, m) {
+			return false
+		}
+		if len(t.Args) == 1 {
+			if ha, ok := t.Args[0].(*cc.HoleArgs); ok {
+				return preMatchArgs(ha, tg.Args, m)
+			}
+		}
+		if len(t.Args) != len(tg.Args) {
+			return false
+		}
+		for i := range t.Args {
+			if !preMatchExpr(ctx, t.Args[i], tg.Args[i], m) {
+				return false
+			}
+		}
+		return true
+	case *cc.IndexExpr:
+		tg, ok := target.(*cc.IndexExpr)
+		return ok && preMatchExpr(ctx, t.X, tg.X, m) && preMatchExpr(ctx, t.Index, tg.Index, m)
+	case *cc.FieldExpr:
+		tg, ok := target.(*cc.FieldExpr)
+		return ok && t.Name == tg.Name && t.Arrow == tg.Arrow && preMatchExpr(ctx, t.X, tg.X, m)
+	case *cc.CastExpr:
+		tg, ok := target.(*cc.CastExpr)
+		return ok && cc.SameType(t.To, tg.To) && preMatchExpr(ctx, t.X, tg.X, m)
+	case *cc.SizeofExpr:
+		tg, ok := target.(*cc.SizeofExpr)
+		if !ok {
+			return false
+		}
+		if t.Type != nil || tg.Type != nil {
+			return t.Type != nil && tg.Type != nil && cc.SameType(t.Type, tg.Type)
+		}
+		return preMatchExpr(ctx, t.X, tg.X, m)
+	case *cc.CommaExpr:
+		tg, ok := target.(*cc.CommaExpr)
+		if !ok || len(t.List) != len(tg.List) {
+			return false
+		}
+		for i := range t.List {
+			if !preMatchExpr(ctx, t.List[i], tg.List[i], m) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (m *baseSyn) lookup(name string) *synBinding {
+	for i := range m.holes {
+		if m.holes[i].name == name {
+			return &m.holes[i]
+		}
+	}
+	return nil
+}
+
+// preMatchHole records a hole binding. Repeated occurrences must bind
+// equivalent ASTs (prior-independent, decided now); the type check of
+// the first occurrence is recorded for Bind.
+func preMatchHole(ctx *Ctx, h *cc.HoleExpr, target cc.Expr, m *baseSyn) bool {
+	if prev := m.lookup(h.Name); prev != nil {
+		return !prev.isArgs && prev.expr != nil && cc.EqualExpr(prev.expr, target)
+	}
+	m.holes = append(m.holes, synBinding{
+		name:   h.Name,
+		expr:   target,
+		typeOK: holeTypeOK(ctx, h, target),
+	})
+	return true
+}
+
+func preMatchArgs(h *cc.HoleArgs, args []cc.Expr, m *baseSyn) bool {
+	if prev := m.lookup(h.Name); prev != nil {
+		return prev.isArgs && equalArgs(prev.args, args)
+	}
+	m.holes = append(m.holes, synBinding{name: h.Name, args: args, isArgs: true, typeOK: true})
+	return true
+}
