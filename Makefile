@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet staticcheck build test race bench-parallel bench-incr bench-gov bench-hotpath bench-micro profile clean
+.PHONY: check fmt vet staticcheck build test race bench-parallel bench-incr bench-gov bench-hotpath bench-multicheck bench-micro profile clean
 
 check: fmt vet staticcheck build race
 
@@ -61,6 +61,13 @@ bench-gov:
 bench-hotpath:
 	$(GO) run ./cmd/mcbench -exp hotpath
 
+# Multi-checker dispatch ablation (DESIGN.md §11): 5/50/200-checker
+# suites with the compiled dispatch on and off; dies if the 50-checker
+# suite exceeds 3x the 5-checker runtime with dispatch on, or on any
+# output difference. Writes BENCH_multicheck.json.
+bench-multicheck:
+	$(GO) run ./cmd/mcbench -exp multicheck
+
 # Microbenchmarks for the §10 hot paths (match memoization, block
 # traversal, instance clone). -benchtime 100x keeps the target quick
 # enough for CI; drop the override for stable local numbers.
@@ -75,6 +82,6 @@ profile:
 	$(GO) run ./cmd/mcbench -cpuprofile pprof/mcbench.cpu -memprofile pprof/mcbench.mem -exp hotpath
 
 clean:
-	rm -f BENCH_parallel.json BENCH_incremental.json BENCH_governance.json BENCH_hotpath.json
+	rm -f BENCH_parallel.json BENCH_incremental.json BENCH_governance.json BENCH_hotpath.json BENCH_multicheck.json
 	rm -rf pprof
 	$(GO) clean ./...

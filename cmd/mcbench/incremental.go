@@ -48,6 +48,15 @@ type incrBench struct {
 // complete ranked output, and the wall-clock.
 func incrAnalyze(srcs map[string]string, store cache.Store) (*mc.Result, string, float64) {
 	a := mc.NewAnalyzer()
+	// The reduction metric counts live function analyses; the compiled
+	// multi-checker dispatch (§11) also eliminates live analyses by
+	// skipping provably-silent (checker, root) pairs, which would
+	// conflate the two effects (and zero out the warm count entirely).
+	// Pin it off so this series keeps measuring the cache in isolation;
+	// the dispatch has its own ablation (bench-multicheck).
+	opts := mc.DefaultOptions()
+	opts.MultiDispatch = false
+	a.SetOptions(opts)
 	a.SetParallelism(jobsFlag)
 	for name, src := range srcs {
 		a.AddSource(name, src)

@@ -59,6 +59,7 @@ var experiments = []struct {
 	{"hotpath", "hot-path ablation: memoized matching + block pre-filters vs unoptimized engine (writes BENCH_hotpath.json)", expHotpath},
 	{"incr", "incremental replay: warm-vs-cold live analyses per edit on the E11 workload (writes BENCH_incremental.json)", expIncr},
 	{"gov", "governance overhead: Run() vs RunContext+budgets on the E11 workload (writes BENCH_governance.json)", expGov},
+	{"multicheck", "multi-checker dispatch: 5/50/200-checker suites, compiled dispatch on/off (writes BENCH_multicheck.json)", expMulticheck},
 }
 
 // jobsFlag is the -j value; expPar adds it to its sweep, and 0 means
@@ -97,7 +98,7 @@ func main() {
 	}
 	if ran == 0 {
 		stopProf()
-		fmt.Fprintln(os.Stderr, "mcbench: no such experiment (ids: f1-f6, t1, t2, e1-e12, par, hotpath, incr, gov)")
+		fmt.Fprintln(os.Stderr, "mcbench: no such experiment (ids: f1-f6, t1, t2, e1-e12, par, hotpath, incr, gov, multicheck)")
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,209 @@
+package main
+
+// expMulticheck measures the multi-checker compiled dispatch
+// (DESIGN.md §11) as a scaling ablation: synthetic checker suites of
+// 5/50/200 checkers — the bundled five plus callee-renamed variants,
+// the "many system-specific checkers, few relevant here" population
+// the paper's §10 deployment describes — over the E11 seeded tree,
+// with MultiDispatch on and off, at -j 1 and -j 8. Within each suite
+// size every configuration must produce byte-identical ranked output
+// (the variants' renamed callees never appear in the workload, so
+// skipping them is observationally invisible), and with dispatch on
+// the 50-checker suite must run within 3x the 5-checker suite — the
+// sublinear claim — while the compat path grows roughly linearly. The
+// series lands in BENCH_multicheck.json so CI can track it.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/checkers"
+	"repro/internal/workload"
+	"repro/mc"
+)
+
+type multiRun struct {
+	Checkers int     `json:"checkers"`
+	Dispatch bool    `json:"dispatch"`
+	Jobs     int     `json:"jobs"`
+	Seconds  float64 `json:"seconds"` // median over trials
+	Output   string  `json:"output_sha256"`
+}
+
+type multiBench struct {
+	Experiment string     `json:"experiment"`
+	Workload   string     `json:"workload"`
+	NumCPU     int        `json:"num_cpu"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Trials     int        `json:"trials"`
+	Runs       []multiRun `json:"runs"`
+	// RatioOn50 etc. are median(seconds at N checkers)/median(seconds
+	// at 5 checkers) at -j 1 for each dispatch mode. The acceptance
+	// criterion is RatioOn50 <= 3.
+	RatioOn50   float64 `json:"ratio_50v5_dispatch_on"`
+	RatioOff50  float64 `json:"ratio_50v5_dispatch_off"`
+	RatioOn200  float64 `json:"ratio_200v5_dispatch_on"`
+	RatioOff200 float64 `json:"ratio_200v5_dispatch_off"`
+	Identical   bool    `json:"output_identical"`
+}
+
+const multiTrials = 3
+
+// variantSeeds lists, per bundled checker, the concrete callee names
+// its patterns hinge on; renaming them (and the sm name) yields a
+// checker that is structurally identical but watches an API surface
+// the workload never touches.
+var variantSeeds = []struct {
+	name    string
+	callees []string
+}{
+	{"free", []string{"kfree"}},
+	{"lock", []string{"lock", "spin_lock", "trylock", "unlock", "spin_unlock"}},
+	{"null", []string{"kmalloc", "malloc"}},
+	{"interrupt", []string{"cli", "sti"}},
+	{"block", []string{"cli", "sti"}},
+}
+
+var smNameRe = regexp.MustCompile(`(?m)^sm\s+(\w+);`)
+
+// checkerSuite returns n checker sources: the bundled five verbatim,
+// then callee-renamed variants cycling over the five.
+func checkerSuite(n int) []string {
+	var out []string
+	for _, seed := range variantSeeds {
+		s, ok := checkers.Lookup(seed.name)
+		if !ok {
+			die(fmt.Errorf("bundled checker %s missing", seed.name))
+		}
+		out = append(out, s.Text)
+	}
+	for v := 0; len(out) < n; v++ {
+		seed := variantSeeds[v%len(variantSeeds)]
+		s, _ := checkers.Lookup(seed.name)
+		text := s.Text
+		suffix := fmt.Sprintf("_v%d", v)
+		for _, c := range seed.callees {
+			re := regexp.MustCompile(`\b` + c + `\(`)
+			text = re.ReplaceAllString(text, c+suffix+"(")
+		}
+		text = smNameRe.ReplaceAllString(text, "sm ${1}"+suffix+";")
+		out = append(out, text)
+	}
+	return out[:n]
+}
+
+// multiAnalyze runs one suite over srcs and returns wall clock plus
+// the ranked-output digest (same rendering as suiteAnalyze).
+func multiAnalyze(srcs map[string]string, checkerSrcs []string, jobs int, dispatch bool) (time.Duration, string) {
+	a := mc.NewAnalyzer()
+	opts := mc.DefaultOptions()
+	opts.MultiDispatch = dispatch
+	a.SetOptions(opts)
+	a.SetParallelism(jobs)
+	for name, src := range srcs {
+		a.AddSource(name, src)
+	}
+	for i, cs := range checkerSrcs {
+		if err := a.LoadChecker(cs); err != nil {
+			die(fmt.Errorf("suite checker %d: %w", i, err))
+		}
+	}
+	a.MarkFunction("net_wait", "blocking")
+	start := time.Now()
+	res, err := a.Run()
+	elapsed := time.Since(start)
+	if err != nil {
+		die(err)
+	}
+	var sb strings.Builder
+	for _, r := range res.Ranked() {
+		sb.WriteString(r.Detailed())
+	}
+	for _, g := range res.Grouped() {
+		fmt.Fprintf(&sb, "%s %.3f %d\n", g.Rule, g.Z, len(g.Reports))
+	}
+	return elapsed, fmt.Sprintf("%x", sha256.Sum256([]byte(sb.String())))
+}
+
+func expMulticheck() {
+	srcs, _ := workload.MixedTree(4, 25, 2002)
+	sizes := []int{5, 50, 200}
+
+	bench := multiBench{
+		Experiment: "multicheck-dispatch",
+		Workload:   "MixedTree(4,25,2002), 5 bundled checkers + renamed variants",
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Trials:     multiTrials,
+		Identical:  true,
+	}
+
+	// med[size][dispatch] at -j 1, for the scaling ratios.
+	med := map[int]map[bool]float64{}
+	fmt.Println("checkers  dispatch  jobs   seconds  output")
+	for _, n := range sizes {
+		suite := checkerSuite(n)
+		med[n] = map[bool]float64{}
+		var refDigest string
+		for _, dispatch := range []bool{false, true} {
+			for _, jobs := range []int{1, 8} {
+				var secs []float64
+				var digest string
+				for t := 0; t < multiTrials; t++ {
+					runtime.GC()
+					d, dig := multiAnalyze(srcs, suite, jobs, dispatch)
+					secs = append(secs, d.Seconds())
+					if t == 0 {
+						digest = dig
+					} else if dig != digest {
+						die(fmt.Errorf("multicheck %d/%v/-j %d: output varied across trials", n, dispatch, jobs))
+					}
+				}
+				if refDigest == "" {
+					refDigest = digest
+				}
+				if digest != refDigest {
+					bench.Identical = false
+					die(fmt.Errorf("multicheck %d checkers: dispatch=%v -j %d output differs — dispatch changed results", n, dispatch, jobs))
+				}
+				m := median(secs)
+				if jobs == 1 {
+					med[n][dispatch] = m
+				}
+				bench.Runs = append(bench.Runs, multiRun{
+					Checkers: n, Dispatch: dispatch, Jobs: jobs,
+					Seconds: m, Output: digest,
+				})
+				fmt.Printf("%8d  %8v  %4d  %8.3f  %s\n", n, dispatch, jobs, m, digest[:12])
+			}
+		}
+	}
+
+	bench.RatioOn50 = med[50][true] / med[5][true]
+	bench.RatioOff50 = med[50][false] / med[5][false]
+	bench.RatioOn200 = med[200][true] / med[5][true]
+	bench.RatioOff200 = med[200][false] / med[5][false]
+
+	fmt.Printf("scaling 5 -> 50 checkers at -j 1: %.2fx with dispatch, %.2fx without (criterion: <= 3x with dispatch)\n",
+		bench.RatioOn50, bench.RatioOff50)
+	fmt.Printf("scaling 5 -> 200 checkers at -j 1: %.2fx with dispatch, %.2fx without\n",
+		bench.RatioOn200, bench.RatioOff200)
+	if bench.RatioOn50 > 3 {
+		die(fmt.Errorf("multicheck: 50-checker suite took %.2fx the 5-checker suite with dispatch on (> 3x)", bench.RatioOn50))
+	}
+
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		die(err)
+	}
+	if err := os.WriteFile("BENCH_multicheck.json", append(data, '\n'), 0o644); err != nil {
+		die(err)
+	}
+	fmt.Println("wrote BENCH_multicheck.json")
+}

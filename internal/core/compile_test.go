@@ -1,0 +1,233 @@
+package core
+
+// Compiled multi-checker dispatch tests (DESIGN.md §11): the union
+// automaton must (a) classify transitions into the strategies the
+// meta-engine advertises, (b) skip exactly the (checker, root) pairs
+// that provably fire nothing, and (c) never change which reports an
+// engine emits — with or without the automaton attached, the output is
+// identical.
+
+import (
+	"testing"
+
+	"repro/internal/checkers"
+	"repro/internal/metal"
+)
+
+func mustChecker(t *testing.T, src string) *metal.Checker {
+	t.Helper()
+	c, err := metal.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestDispatchStrategyClassification pins the meta-engine's routing:
+// root-callee patterns take the literal fast path, concrete shapes
+// with nested or absent callees take the structural tree, and
+// end-of-path / callout alternatives fall back.
+func TestDispatchStrategyClassification(t *testing.T) {
+	free := mustChecker(t, checkers.Free)
+	null := mustChecker(t, checkers.Null)
+	block := mustChecker(t, checkers.Block)
+	p := buildProg(t, map[string]string{"a.c": "int f(void) { return 0; }"})
+	cd := CompileDispatch(p, []*metal.Checker{free, null, block})
+
+	byPat := func(c *metal.Checker, sub string) *metal.Transition {
+		for _, tr := range c.Transitions {
+			if containsStr(tr.Pat.String(), sub) {
+				return tr
+			}
+		}
+		t.Fatalf("no transition of %s matching %q", c.Name, sub)
+		return nil
+	}
+
+	// { kfree(v) }: root callee -> literal index.
+	if lit, _, _ := cd.Strategy(byPat(free, "kfree(v)")); !lit {
+		t.Error("kfree(v) should be literal-callee dispatch")
+	}
+	// { v = kmalloc(args) }: assignment root, nested callee -> structural.
+	if _, st, _ := cd.Strategy(byPat(null, "kmalloc")); !st {
+		t.Error("v = kmalloc(args) should be structural dispatch")
+	}
+	// { *v }: unary shape, no callee -> structural.
+	if _, st, _ := cd.Strategy(byPat(free, "*v")); !st {
+		t.Error("*v should be structural dispatch")
+	}
+	// $end_of_path$ alternative -> fallback (fires outside block dispatch).
+	if _, _, fb := cd.Strategy(byPat(free, "$end_of_path$")); !fb {
+		t.Error("$end_of_path$ should be fallback dispatch")
+	}
+	// { fn(args) } && ${ mc_fn_marked(...) }: hole callee, callout
+	// conjunct -> the call-kind shape still routes it structurally.
+	if _, st, _ := cd.Strategy(byPat(block, "mc_fn_marked")); !st {
+		t.Error("fn(args) && callout should be structural dispatch")
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDispatchWholeCheckerSkip: in a program that only frees, the lock
+// checker's initial transitions can never fire, so the compiler proves
+// the whole checker a no-op; the free checker stays live.
+func TestDispatchWholeCheckerSkip(t *testing.T) {
+	free := mustChecker(t, checkers.Free)
+	lock := mustChecker(t, checkers.Lock)
+	p := buildProg(t, map[string]string{"a.c": `
+void kfree(void *p);
+int f(int *p) { kfree(p); return *p; }
+`})
+	cd := CompileDispatch(p, []*metal.Checker{free, lock})
+	if cd.skipAll[1] != true {
+		t.Error("lock checker should be provably skippable: no lock-family callee anywhere")
+	}
+	if cd.skipAll[0] != false {
+		t.Error("free checker must stay live: kfree is called")
+	}
+	for _, root := range p.Roots {
+		if !cd.SkipRoot(1, root) {
+			t.Errorf("SkipRoot(lock, %s) = false, want true", root.Name)
+		}
+		if cd.SkipRoot(0, root) {
+			t.Errorf("SkipRoot(free, %s) = true, want false", root.Name)
+		}
+	}
+}
+
+// TestDispatchPerRootSkip: two disjoint call trees — the free checker
+// is skippable over the lock-only root and vice versa, even though
+// neither is skippable program-wide.
+func TestDispatchPerRootSkip(t *testing.T) {
+	free := mustChecker(t, checkers.Free)
+	lock := mustChecker(t, checkers.Lock)
+	p := buildProg(t, map[string]string{"a.c": `
+void kfree(void *p);
+void lock(void *l);
+void unlock(void *l);
+void free_leaf(int *p) { kfree(p); }
+void lock_leaf(int *l) { lock(l); unlock(l); }
+int free_root(int *p) { free_leaf(p); return 0; }
+int lock_root(int *l) { lock_leaf(l); return 0; }
+`})
+	cd := CompileDispatch(p, []*metal.Checker{free, lock})
+	if cd.skipAll[0] || cd.skipAll[1] {
+		t.Fatal("neither checker is skippable program-wide here")
+	}
+	freeRoot := p.Lookup("free_root")
+	lockRoot := p.Lookup("lock_root")
+	if freeRoot == nil || lockRoot == nil {
+		t.Fatal("roots not found")
+	}
+	if cd.SkipRoot(0, freeRoot) {
+		t.Error("free checker must run over free_root")
+	}
+	if !cd.SkipRoot(0, lockRoot) {
+		t.Error("free checker should skip lock_root: no kfree in its closure")
+	}
+	if cd.SkipRoot(1, lockRoot) {
+		t.Error("lock checker must run over lock_root")
+	}
+	if !cd.SkipRoot(1, freeRoot) {
+		t.Error("lock checker should skip free_root: no lock-family callee in its closure")
+	}
+	// An unknown function (not a root) stays conservative.
+	if cd.SkipRoot(0, p.Lookup("free_leaf")) {
+		t.Error("non-root lookup must not claim a skip")
+	}
+}
+
+// TestDispatchGlobalCheckerNotOverSkipped: interrupt is a pure
+// global-state checker with an $end_of_path$ transition reachable from
+// a non-initial state; only the cli/sti literals gate its initial
+// state, so a cli-free program skips it but a cli-bearing one must not.
+func TestDispatchGlobalCheckerNotOverSkipped(t *testing.T) {
+	intr := mustChecker(t, checkers.Interrupt)
+	noCli := buildProg(t, map[string]string{"a.c": "int f(void) { return 1; }"})
+	cd := CompileDispatch(noCli, []*metal.Checker{intr})
+	if !cd.skipAll[0] {
+		t.Error("interrupt checker should skip a program with no cli/sti")
+	}
+	withCli := buildProg(t, map[string]string{"a.c": `
+void cli(void);
+int f(void) { cli(); return 1; }
+`})
+	cd = CompileDispatch(withCli, []*metal.Checker{intr})
+	if cd.skipAll[0] {
+		t.Error("interrupt checker must run: cli() starts the protocol")
+	}
+}
+
+// TestDispatchEquivalence: attaching the compiled automaton must not
+// change any checker's reports on a program that exercises fires,
+// skips, nested callees, return patterns, and end-of-path dispatch.
+func TestDispatchEquivalence(t *testing.T) {
+	src := map[string]string{"a.c": `
+void kfree(void *p);
+void *kmalloc(int n);
+void lock(void *l);
+void unlock(void *l);
+void cli(void);
+void sti(void);
+
+int use_after_free(int *p) {
+	kfree(p);
+	return *p;
+}
+
+int null_deref(int n) {
+	int *v = kmalloc(n);
+	return *v;
+}
+
+int forgotten_lock(int *l, int n) {
+	lock(l);
+	if (n > 0)
+		return 0;
+	unlock(l);
+	return 1;
+}
+
+int intr_path(int n) {
+	cli();
+	if (n)
+		sti();
+	return n;
+}
+
+int clean(int a, int b) {
+	return a + b;
+}
+`}
+	for _, name := range []string{"free", "lock", "null", "interrupt"} {
+		cs, ok := checkers.Lookup(name)
+		if !ok {
+			t.Fatalf("bundled checker %s missing", name)
+		}
+		c := mustChecker(t, cs.Text)
+
+		p1 := buildProg(t, src)
+		plain := NewEngine(p1, c, DefaultOptions())
+		plainKeys := reportKeys(plain.Run())
+
+		p2 := buildProg(t, src)
+		c2 := mustChecker(t, cs.Text)
+		cd := CompileDispatch(p2, []*metal.Checker{c2})
+		compiled := NewEngine(p2, c2, DefaultOptions())
+		compiled.SetCompiled(cd, 0)
+		compiledKeys := reportKeys(compiled.Run())
+
+		if !equalKeys(plainKeys, compiledKeys) {
+			t.Errorf("%s: compiled dispatch changed reports:\n  plain:    %v\n  compiled: %v",
+				name, plainKeys, compiledKeys)
+		}
+	}
+}

@@ -62,6 +62,14 @@ type Options struct {
 	// computed once and reused across paths. Semantics-preserving; off
 	// only for ablation.
 	LeanAlloc bool
+	// MultiDispatch compiles the union of all loaded checkers'
+	// transition patterns into one shared dispatch structure per run
+	// (DESIGN.md §11): a callee-name literal index plus a root-kind
+	// discrimination tree yield per-block candidate sets for every
+	// checker in one walk, and provably inert checkers skip whole
+	// roots. Semantics-preserving (byte-identical output); off runs
+	// the faithful per-engine compat path.
+	MultiDispatch bool
 	// Budgets bounds per-path and per-function traversal work
 	// (governance layer, DESIGN.md §9). Zero value = unlimited.
 	Budgets Budgets
@@ -80,6 +88,7 @@ func DefaultOptions() Options {
 		BlockFilter:     true,
 		TupleIntern:     true,
 		LeanAlloc:       true,
+		MultiDispatch:   true,
 		MaxBlocks:       0,
 		MaxCallDepth:    64,
 		MaxPartitions:   16,
@@ -193,6 +202,12 @@ type Engine struct {
 	// filters holds each transition's syntactic pre-filter
 	// (prefilter.go).
 	filters map[*metal.Transition]transFilter
+	// compiled is the run-wide multi-checker dispatch structure
+	// (compile.go), shared read-only across engines; nil runs the
+	// per-engine compat path. checkerIdx is this engine's checker's
+	// index in the compiled checker list.
+	compiled   *CompiledDispatch
+	checkerIdx int
 }
 
 // NewEngine builds an engine for one checker over a program.
@@ -248,6 +263,14 @@ func NewEngineShared(p *prog.Program, c *metal.Checker, opts Options, shared *Sh
 		return name != "" && en.shared.Marked(name, args[1].Str)
 	}
 	return en
+}
+
+// SetCompiled attaches the run-wide compiled dispatch structure built
+// by CompileDispatch; idx is this engine's checker's index in the
+// compiled checker list. Must be called before the engine runs.
+func (en *Engine) SetCompiled(cd *CompiledDispatch, idx int) {
+	en.compiled = cd
+	en.checkerIdx = idx
 }
 
 // RegisterAction installs a custom action verb (general-purpose escape

@@ -210,10 +210,23 @@ func (en *Engine) RunRootsContext(ctx context.Context, roots []*prog.Function) [
 		if en.cancelled || en.Failure != nil {
 			break
 		}
+		// Compiled-dispatch root skip (compile.go): a checker none of
+		// whose initial-state transitions can fire anywhere in this
+		// root's callee closure is a provable no-op over it — no
+		// reports, marks, or rule counts — so the traversal is skipped
+		// with an empty segment, byte-identical to having run it.
+		if en.compiled != nil && en.compiled.SkipRoot(en.checkerIdx, root) {
+			out = append(out, RootRun{Root: root})
+			continue
+		}
 		before := len(en.Reports.Reports)
 		en.runRootIsolated(root)
 		out = append(out, RootRun{Root: root, Reports: en.Reports.Reports[before:]})
 	}
+	// The interner's struct-key cache is run-scoped: dropping it here
+	// bounds the engine's footprint when it is re-run over a resident
+	// tree (intern.go).
+	en.intern.endRun()
 	return out
 }
 

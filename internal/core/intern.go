@@ -47,6 +47,15 @@ func newInterner(compat, eager bool) *interner {
 	return &interner{ids: map[tupleKey]tid{}, byStr: map[string]tid{}, compat: compat, eager: eager}
 }
 
+// idsCacheCap bounds the struct-key cache. ids is pure cache in front
+// of byStr — two tupleKeys may share a tid, and dropping an entry only
+// costs a re-render on the next lookup — so it can be reset at any
+// time. Without a bound it grows monotonically for the engine's
+// lifetime (one entry per distinct tuple identity ever seen), which
+// under a long-lived engine on a large tree dwarfs the canonical
+// byStr/strs tables it fronts.
+const idsCacheCap = 1 << 16
+
 // id interns the tuple, rendering its Key() string only on first
 // sight of the (g, var, obj, val, data) combination. In compat mode
 // the struct-key cache is bypassed: the string is rendered and hashed
@@ -60,8 +69,20 @@ func (in *interner) id(t Tuple) tid {
 		return id
 	}
 	id := in.idByStr(t.Key())
+	if len(in.ids) >= idsCacheCap {
+		in.ids = make(map[tupleKey]tid, idsCacheCap/4)
+	}
 	in.ids[k] = id
 	return id
+}
+
+// endRun releases the run-scoped struct-key cache. byStr/strs must
+// survive — interned tids are held by the engine's summary structures
+// (edge sets, block caches) and must keep rendering — but they are
+// keyed by canonical identity, so re-running the engine over the same
+// tree re-derives the same ids without growing them.
+func (in *interner) endRun() {
+	in.ids = map[tupleKey]tid{}
 }
 
 func (in *interner) idByStr(s string) tid {

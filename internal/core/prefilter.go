@@ -102,12 +102,24 @@ func kindOf(e cc.Expr) int8 {
 
 // filterAtom is one conjunctive requirement a pattern places on a
 // program point: a return-statement point, or an in-block point of a
-// specific root kind (optionally a call to a specific name). The zero
-// atom (kind == kindAny after construction) requires nothing.
+// specific root kind, optionally requiring some call to a named
+// function in the same block. The zero atom (kind == kindAny after
+// construction) requires nothing.
+//
+// A callee requirement comes in two strengths. With rootCallee set the
+// point itself must be a call to that name (the template's root is
+// "name(...)"). Without it the name is a nested requirement: the
+// template contains a concrete call to the name somewhere below the
+// root, so any matching point carries an identically-named call as a
+// subexpression — and since the CFG keeps whole expression trees in
+// one block and ExecOrder emits every subexpression as a point (sizeof
+// operands excepted; see requiredCallee), that call is itself a point
+// of the same block and lands in the block's callee set.
 type filterAtom struct {
-	ret    bool
-	kind   int8
-	callee string
+	ret        bool
+	kind       int8
+	callee     string
+	rootCallee bool
 }
 
 var anyAtom = filterAtom{kind: kindAny}
@@ -132,19 +144,33 @@ func conjoin(a, b filterAtom) (filterAtom, bool) {
 		// dispatches; an in-block shape pattern never does.
 		return filterAtom{}, false
 	}
-	if a.ret {
-		return a, true
-	}
-	if a.kind != b.kind {
+	if !a.ret && a.kind != b.kind {
 		return filterAtom{}, false
 	}
+	return mergeCallee(a, b)
+}
+
+// mergeCallee combines the callee requirements of two atoms that agree
+// on ret/kind. Differing names contradict only when both are ROOT
+// callees — the point cannot be a call to two different functions. Two
+// differing nested requirements can both hold (e.g. "{ v + f(w) }" and
+// "{ g(x) + y }" both match "g(1) + f(2)"), so the merge keeps one of
+// them — a sound over-approximation, preferring the root-strength name.
+func mergeCallee(a, b filterAtom) (filterAtom, bool) {
 	switch {
 	case a.callee == "":
 		return b, true
-	case b.callee == "" || a.callee == b.callee:
+	case b.callee == "":
 		return a, true
+	case a.callee == b.callee:
+		a.rootCallee = a.rootCallee || b.rootCallee
+		return a, true
+	case a.rootCallee && b.rootCallee:
+		return filterAtom{}, false
+	case b.rootCallee:
+		return b, true
 	}
-	return filterAtom{}, false
+	return a, true
 }
 
 // filterOf computes the pattern's filter. Soundness invariant: if
@@ -183,27 +209,104 @@ func filterOf(p pattern.Pattern) transFilter {
 	}
 }
 
-// baseAtom derives a Base pattern's root requirement. Only the
-// template's root node constrains the point: a hole root matches any
-// expression (hole type checks are prior-dependent and so unusable
-// here), while a concrete root node forces the point's kind, and an
-// identifier-called template forces the callee name.
+// baseAtom derives a Base pattern's root requirement. The template's
+// root node constrains the point: a hole root matches any expression
+// (hole type checks are prior-dependent and so unusable here), while a
+// concrete root node forces the point's kind, and an identifier-called
+// template forces the callee name. Templates whose root carries no
+// callee are additionally mined for a nested required callee (see
+// requiredCallee) — the key that lets shapes like "{ v = kmalloc(args) }"
+// join the multi-checker callee index.
 func baseAtom(b *pattern.Base) filterAtom {
-	if tmpl, isReturn := b.Template(); !isReturn {
-		switch t := tmpl.(type) {
-		case *cc.HoleExpr:
-			return anyAtom
-		case *cc.CallExpr:
-			atom := filterAtom{kind: kindCall}
-			if id, ok := t.Fun.(*cc.Ident); ok {
-				atom.callee = id.Name
+	tmpl, isReturn := b.Template()
+	if isReturn {
+		atom := filterAtom{ret: true}
+		if call, ok := tmpl.(*cc.CallExpr); ok {
+			if id, ok := call.Fun.(*cc.Ident); ok {
+				atom.callee, atom.rootCallee = id.Name, true
+				return atom
 			}
-			return atom
-		default:
-			return filterAtom{kind: kindOf(tmpl)}
+		}
+		atom.callee = requiredCallee(tmpl)
+		return atom
+	}
+	switch t := tmpl.(type) {
+	case *cc.HoleExpr:
+		return anyAtom
+	case *cc.CallExpr:
+		atom := filterAtom{kind: kindCall}
+		if id, ok := t.Fun.(*cc.Ident); ok {
+			atom.callee, atom.rootCallee = id.Name, true
+		} else {
+			atom.callee = requiredCallee(t)
+		}
+		return atom
+	default:
+		return filterAtom{kind: kindOf(tmpl), callee: requiredCallee(tmpl)}
+	}
+}
+
+// requiredCallee finds a function name the template forces into any
+// containing block's callee set: a concrete call "name(...)" somewhere
+// in the template (not under a hole — holes have no template subtrees)
+// must match an identically-named call node inside the target
+// expression, and every template node on the path down to it matches a
+// same-typed target node, so the target's call is a subexpression the
+// block's ExecOrder expansion emits as its own program point. The one
+// exception is sizeof: its operand is matched structurally but never
+// evaluated, so ExecOrder does not emit points inside it and nothing
+// below a SizeofExpr may be required.
+func requiredCallee(e cc.Expr) string {
+	switch e := e.(type) {
+	case *cc.CallExpr:
+		if id, ok := e.Fun.(*cc.Ident); ok {
+			return id.Name
+		}
+		if n := requiredCallee(e.Fun); n != "" {
+			return n
+		}
+		for _, a := range e.Args {
+			if n := requiredCallee(a); n != "" {
+				return n
+			}
+		}
+	case *cc.UnaryExpr:
+		return requiredCallee(e.X)
+	case *cc.BinaryExpr:
+		if n := requiredCallee(e.X); n != "" {
+			return n
+		}
+		return requiredCallee(e.Y)
+	case *cc.AssignExpr:
+		if n := requiredCallee(e.LHS); n != "" {
+			return n
+		}
+		return requiredCallee(e.RHS)
+	case *cc.CondExpr:
+		if n := requiredCallee(e.Cond); n != "" {
+			return n
+		}
+		if n := requiredCallee(e.Then); n != "" {
+			return n
+		}
+		return requiredCallee(e.Else)
+	case *cc.IndexExpr:
+		if n := requiredCallee(e.X); n != "" {
+			return n
+		}
+		return requiredCallee(e.Index)
+	case *cc.FieldExpr:
+		return requiredCallee(e.X)
+	case *cc.CastExpr:
+		return requiredCallee(e.X)
+	case *cc.CommaExpr:
+		for _, x := range e.List {
+			if n := requiredCallee(x); n != "" {
+				return n
+			}
 		}
 	}
-	return filterAtom{ret: true}
+	return ""
 }
 
 // blockFeats summarizes a block's program points for the filter.
@@ -236,12 +339,15 @@ func featsOf(b *cfg.Block, points []cc.Expr) *blockFeats {
 }
 
 // admits reports whether some point of the block can satisfy the atom.
+// Callee requirements — root or nested — check the block's callee set:
+// a nested requirement's call node is itself a point of the same block
+// (see filterAtom), so absence from the set rules the atom out.
 func (f *blockFeats) admits(a filterAtom) bool {
 	if a == anyAtom {
 		return true
 	}
 	if a.ret {
-		return f.isReturn
+		return f.isReturn && (a.callee == "" || f.callees[a.callee])
 	}
 	if f.kinds&(1<<uint(a.kind)) == 0 {
 		return false
@@ -261,24 +367,31 @@ func buildFilters(c *metal.Checker) map[*metal.Transition]transFilter {
 
 // mayFire reports whether any transition sourced at ref can possibly
 // match at some point of the block. Results are cached per (block,
-// ref); block features are computed on the block's first traversal.
+// ref). With compiled dispatch attached the answer comes from the
+// run-wide per-block admit bitsets (one walk per block at compile
+// time, shared across engines); otherwise block features are computed
+// per engine on the block's first traversal.
 func (en *Engine) mayFire(bi *blockInfo, b *cfg.Block, ref metal.StateRef) bool {
 	if v, ok := bi.fire[ref]; ok {
 		return v
 	}
-	if bi.feats == nil {
-		bi.feats = featsOf(b, en.blockPoints(bi, b))
-	}
-	fire := false
-	for _, tr := range en.transIdx[ref] {
-		for _, a := range en.filters[tr].atoms {
-			if bi.feats.admits(a) {
-				fire = true
+	var fire bool
+	if en.compiled != nil {
+		fire = en.compiled.blockMayFire(b, en.transIdx[ref])
+	} else {
+		if bi.feats == nil {
+			bi.feats = featsOf(b, en.blockPoints(bi, b))
+		}
+		for _, tr := range en.transIdx[ref] {
+			for _, a := range en.filters[tr].atoms {
+				if bi.feats.admits(a) {
+					fire = true
+					break
+				}
+			}
+			if fire {
 				break
 			}
-		}
-		if fire {
-			break
 		}
 	}
 	if bi.fire == nil {

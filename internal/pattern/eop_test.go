@@ -1,0 +1,45 @@
+package pattern
+
+import "testing"
+
+// TestMayMatchEndOfPath pins the static end-of-path capability used by
+// the compiled dispatch (core/compile.go): an entry the analysis can
+// fire at an end-of-path event must never be filtered by block
+// features, so over-approximation is allowed but under-approximation
+// is not.
+func TestMayMatchEndOfPath(t *testing.T) {
+	holes := map[string]*Hole{"v": {Name: "v", Meta: MetaAnyPtr}}
+	base, err := CompileBase("kfree(v)", holes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, err := CompileBase("return v", holes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yes, _ := CompileCallout("1")
+	no, _ := CompileCallout("0")
+	dyn, _ := CompileCallout("mc_is_branch_cond(v)")
+
+	cases := []struct {
+		name string
+		p    Pattern
+		want bool
+	}{
+		{"base needs a point", base, false},
+		{"return pattern needs a return point", ret, false},
+		{"end_of_path", EndOfPath{}, true},
+		{"constant-true callout", yes, true},
+		{"constant-false callout", no, false},
+		{"dynamic callout stays conservative", dyn, true},
+		{"and: both sides must allow", &And{X: base, Y: yes}, false},
+		{"and of eop-capable sides", &And{X: EndOfPath{}, Y: yes}, true},
+		{"or: either side suffices", &Or{X: base, Y: EndOfPath{}}, true},
+		{"or of two bases", &Or{X: base, Y: ret}, false},
+	}
+	for _, tc := range cases {
+		if got := MayMatchEndOfPath(tc.p); got != tc.want {
+			t.Errorf("%s: MayMatchEndOfPath(%s) = %v, want %v", tc.name, tc.p, got, tc.want)
+		}
+	}
+}

@@ -577,6 +577,31 @@ func (EndOfPath) Match(ctx *Ctx, prior Bindings) (Bindings, bool) {
 // String implements Pattern.
 func (EndOfPath) String() string { return "$end_of_path$" }
 
+// MayMatchEndOfPath reports whether p can possibly match at an
+// end-of-path dispatch (ctx.EndOfPath set, no program point). The
+// engine's compiled dispatch uses it to distinguish patterns that need
+// a syntactic trigger inside some block from patterns that fire when a
+// path simply terminates: a Base pattern always needs a point (return
+// patterns need ReturnPoint, expression patterns need Point), ${0}
+// never matches, and unknown callouts are conservatively assumed to
+// match.
+func MayMatchEndOfPath(p Pattern) bool {
+	switch p := p.(type) {
+	case *Base:
+		return false
+	case *And:
+		return MayMatchEndOfPath(p.X) && MayMatchEndOfPath(p.Y)
+	case *Or:
+		return MayMatchEndOfPath(p.X) || MayMatchEndOfPath(p.Y)
+	case *Callout:
+		return !p.Const || p.ConstVal
+	case EndOfPath:
+		return true
+	default:
+		return true
+	}
+}
+
 // Walk visits p and every subpattern in syntax order. The engine uses
 // it to discover which callouts a checker's patterns invoke (checker
 // composition dependencies).

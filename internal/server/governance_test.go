@@ -125,10 +125,35 @@ func TestErrorEnvelopeShape(t *testing.T) {
 	}
 }
 
+// TestRetryAfterSeconds: the 429 hint is derived from the request
+// timeout spread over the inflight depth, with sane floors.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d        time.Duration
+		inflight int64
+		want     int
+	}{
+		{0, 5, 1},                      // unbounded runs: no basis, floor
+		{30 * time.Second, 1, 30},      // one bounded run holds the slot
+		{30 * time.Second, 4, 8},       // ceil(30/4)
+		{10 * time.Second, 3, 4},       // ceil(10/3)
+		{500 * time.Millisecond, 1, 1}, // sub-second rounds up to the floor
+		{2 * time.Second, 0, 2},        // inflight raced to zero: treat as 1
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.d, tc.inflight); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v, %d) = %d, want %d", tc.d, tc.inflight, got, tc.want)
+		}
+	}
+}
+
 // TestBackpressure429: with MaxInFlight=1 and a run held in flight, a
-// second analyze request is shed with 429/"overloaded" and counted.
+// second analyze request is shed with 429/"overloaded", counted, and
+// carries a Retry-After derived from the request timeout and the
+// inflight depth (one 30s-bounded run in flight -> 30).
 func TestBackpressure429(t *testing.T) {
-	srv := New(Config{Checkers: []string{"free"}, MaxInFlight: 1})
+	srv := New(Config{Checkers: []string{"free"}, MaxInFlight: 1,
+		RequestTimeout: 30 * time.Second})
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
@@ -155,8 +180,8 @@ func TestBackpressure429(t *testing.T) {
 	if env := decodeEnvelope(t, body); env.Code != "overloaded" {
 		t.Errorf("envelope code %q, want overloaded", env.Code)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Error("429 without Retry-After")
+	if got := resp.Header.Get("Retry-After"); got != "30" {
+		t.Errorf("Retry-After = %q, want %q (RequestTimeout 30s, 1 inflight)", got, "30")
 	}
 
 	close(release)

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -116,6 +117,27 @@ func New(cfg Config) *Server {
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 		srcs:  map[string]string{},
 	}
+}
+
+// retryAfterSeconds derives the 429 Retry-After hint from the
+// per-request timeout and the current admitted depth: every admitted
+// run is bounded by d, so with n in flight the earliest slot is
+// expected to free within about d/n — ceil'd to whole seconds with a
+// floor of one, and a bare 1 when runs are unbounded (no basis for a
+// better estimate).
+func retryAfterSeconds(d time.Duration, inflight int64) int {
+	if d <= 0 {
+		return 1
+	}
+	if inflight < 1 {
+		inflight = 1
+	}
+	per := d / time.Duration(inflight)
+	secs := int((per + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // newAnalyzer assembles a fresh analyzer over the given tree and the
@@ -262,8 +284,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.mu.Lock()
 		s.rejected++
+		inflight := s.inflight
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After",
+			strconv.Itoa(retryAfterSeconds(s.cfg.RequestTimeout, inflight)))
 		writeError(w, http.StatusTooManyRequests, "overloaded",
 			"too many analyses in flight", fmt.Sprintf("max_inflight=%d", s.cfg.MaxInFlight))
 		return

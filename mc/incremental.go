@@ -197,6 +197,13 @@ func (a *Analyzer) runCached(ctx context.Context) (*Result, error) {
 	}
 
 	t0 = time.Now()
+	// Multi-checker compiled dispatch, shared by every live engine in
+	// every phase (the structure is purely syntactic, so one build
+	// covers all phases; replayed units never consult it).
+	var compiled *core.CompiledDispatch
+	if a.opts.MultiDispatch {
+		compiled = core.CompileDispatch(p, a.checkers)
+	}
 	tasksByChecker := make([][]*unitTask, len(a.checkers))
 	for _, phase := range core.PlanPhases(a.checkers) {
 		// The marks visible to every engine in this phase are exactly
@@ -237,6 +244,9 @@ func (a *Analyzer) runCached(ctx context.Context) (*Result, error) {
 				defer wg.Done()
 				defer func() { <-sem }()
 				en := core.NewEngineShared(p, a.checkers[t.ci], a.opts, a.shared)
+				if compiled != nil {
+					en.SetCompiled(compiled, t.ci)
+				}
 				t.runs = en.RunRootsContext(ctx, t.roots)
 				t.eng = en
 			}(t)
@@ -416,7 +426,7 @@ func sumAnalyses(s *core.Stats) int {
 func optionsFingerprint(o Options) string {
 	var sb strings.Builder
 	sb.WriteString("opts|")
-	for _, b := range []bool{o.Interprocedural, o.BlockCache, o.FunctionCache, o.FPP, o.Synonyms, o.Kills} {
+	for _, b := range []bool{o.Interprocedural, o.BlockCache, o.FunctionCache, o.FPP, o.Synonyms, o.Kills, o.MultiDispatch} {
 		if b {
 			sb.WriteByte('1')
 		} else {

@@ -282,6 +282,15 @@ func (a *Analyzer) RunContext(ctx context.Context) (*Result, error) {
 	for i, c := range a.checkers {
 		engines[i] = core.NewEngineShared(p, c, a.opts, a.shared)
 	}
+	// Multi-checker compiled dispatch (DESIGN.md §11): one automaton
+	// over the union of all loaded checkers' patterns, built once per
+	// run and shared read-only by every engine.
+	if a.opts.MultiDispatch {
+		cd := core.CompileDispatch(p, a.checkers)
+		for i := range engines {
+			engines[i].SetCompiled(cd, i)
+		}
+	}
 	for _, phase := range core.PlanPhases(a.checkers) {
 		a.runPhase(ctx, engines, phase)
 	}

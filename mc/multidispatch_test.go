@@ -1,0 +1,110 @@
+package mc
+
+// Compiled multi-checker dispatch (DESIGN.md §11) end-to-end contract:
+// MultiDispatch is a pure accelerator. With it on or off, at any
+// parallelism level, the full bundled suite over the seeded workload
+// must produce the same reports in the same order with the same
+// ranking — and the same holds through the incremental-cache path.
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/workload"
+)
+
+func runSuiteDispatch(t *testing.T, srcs map[string]string, jobs int, dispatch bool) *Result {
+	t.Helper()
+	a := NewAnalyzer()
+	opts := DefaultOptions()
+	opts.MultiDispatch = dispatch
+	a.SetOptions(opts)
+	a.SetParallelism(jobs)
+	for name, src := range srcs {
+		a.AddSource(name, src)
+	}
+	for _, s := range BundledCheckers() {
+		if err := a.LoadBundledChecker(s.Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.MarkFunction("net_wait", "blocking")
+	a.MarkFunction("disk_sync", "blocking")
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestMultiDispatchMatchesCompat: dispatch on vs off, -j 1 and -j 8,
+// report-for-report identical including ranked order.
+func TestMultiDispatchMatchesCompat(t *testing.T) {
+	srcs, _ := workload.MixedTree(4, 25, 2002)
+	base := runSuiteDispatch(t, srcs, 1, false)
+	if len(base.Reports) == 0 {
+		t.Fatal("compat run produced no reports; workload regressed")
+	}
+	for _, jobs := range []int{1, 8} {
+		res := runSuiteDispatch(t, srcs, jobs, true)
+		if len(res.Reports) != len(base.Reports) {
+			t.Fatalf("-j %d dispatch: report count %d, want %d",
+				jobs, len(res.Reports), len(base.Reports))
+		}
+		for i := range base.Reports {
+			if got, want := reportKey(res.Reports[i]), reportKey(base.Reports[i]); got != want {
+				t.Errorf("-j %d dispatch: report %d differs:\n  got:  %s\n  want: %s",
+					jobs, i, got, want)
+			}
+		}
+		baseRanked, ranked := base.Ranked(), res.Ranked()
+		for i := range baseRanked {
+			if reportKey(baseRanked[i]) != reportKey(ranked[i]) {
+				t.Errorf("-j %d dispatch: ranked report %d differs", jobs, i)
+			}
+		}
+	}
+}
+
+// TestMultiDispatchThroughCache: the cache-aware path compiles the
+// same automaton for its live engines; cold and warm cached runs with
+// dispatch on must match the uncached compat run.
+func TestMultiDispatchThroughCache(t *testing.T) {
+	srcs, _ := workload.MixedTree(3, 12, 77)
+	base := runSuiteDispatch(t, srcs, 1, false)
+
+	store := cache.NewMemStore()
+	run := func() *Result {
+		a := NewAnalyzer()
+		opts := DefaultOptions()
+		opts.MultiDispatch = true
+		a.SetOptions(opts)
+		a.SetCacheStore(store)
+		for name, src := range srcs {
+			a.AddSource(name, src)
+		}
+		for _, s := range BundledCheckers() {
+			if err := a.LoadBundledChecker(s.Name); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a.MarkFunction("net_wait", "blocking")
+		a.MarkFunction("disk_sync", "blocking")
+		res, err := a.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for pass, res := range []*Result{run(), run()} {
+		if len(res.Reports) != len(base.Reports) {
+			t.Fatalf("cached pass %d: report count %d, want %d",
+				pass, len(res.Reports), len(base.Reports))
+		}
+		for i := range base.Reports {
+			if reportKey(res.Reports[i]) != reportKey(base.Reports[i]) {
+				t.Errorf("cached pass %d: report %d differs", pass, i)
+			}
+		}
+	}
+}
