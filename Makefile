@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet staticcheck build test race bench-parallel bench-incr bench-gov bench-hotpath bench-multicheck bench-micro profile clean
+.PHONY: check fmt vet staticcheck build test race bench-parallel bench-incr bench-gov bench-hotpath bench-multicheck bench-scale bench-micro profile clean
 
 check: fmt vet staticcheck build race
 
@@ -68,6 +68,15 @@ bench-hotpath:
 bench-multicheck:
 	$(GO) run ./cmd/mcbench -exp multicheck
 
+# Memory-bounded streaming series (DESIGN.md §12): MixedTree at four
+# sizes, spill on/off, each cell in a child process so peak RSS is
+# per-cell; dies on any output difference or if a 4x tree grows peak
+# RSS beyond 2x with spill on. Writes BENCH_scale.json. CI passes
+# SCALE_FLAGS=-scale-short (two sizes, no ratio assertion).
+SCALE_FLAGS ?=
+bench-scale:
+	$(GO) run ./cmd/mcbench -exp scale $(SCALE_FLAGS)
+
 # Microbenchmarks for the §10 hot paths (match memoization, block
 # traversal, instance clone). -benchtime 100x keeps the target quick
 # enough for CI; drop the override for stable local numbers.
@@ -82,6 +91,6 @@ profile:
 	$(GO) run ./cmd/mcbench -cpuprofile pprof/mcbench.cpu -memprofile pprof/mcbench.mem -exp hotpath
 
 clean:
-	rm -f BENCH_parallel.json BENCH_incremental.json BENCH_governance.json BENCH_hotpath.json BENCH_multicheck.json
+	rm -f BENCH_parallel.json BENCH_incremental.json BENCH_governance.json BENCH_hotpath.json BENCH_multicheck.json BENCH_scale.json
 	rm -rf pprof
 	$(GO) clean ./...

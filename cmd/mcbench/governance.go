@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/profiling"
 	"repro/internal/workload"
 	"repro/mc"
 )
@@ -32,6 +33,9 @@ type govBench struct {
 	OverheadPct     float64 `json:"overhead_pct"`
 	BoundPct        float64 `json:"bound_pct"`
 	Identical       bool    `json:"identical_output"`
+	// PeakRSSBytes is the process's high-water resident set when the
+	// series finished (cumulative over every run in this process).
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
 }
 
 // govAnalyze runs the full bundled suite once; governed selects the
@@ -143,6 +147,7 @@ func expGov() {
 		OverheadPct:     overhead,
 		BoundPct:        boundPct,
 		Identical:       baseDig == govDig,
+		PeakRSSBytes:    profiling.PeakRSS(),
 	}
 	fmt.Printf("baseline Run():              %8.3fs\n", bench.BaselineSeconds)
 	fmt.Printf("governed RunContext+budgets: %8.3fs\n", bench.GovernedSeconds)

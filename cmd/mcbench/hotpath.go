@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 
+	"repro/internal/profiling"
 	"repro/internal/workload"
 	"repro/mc"
 )
@@ -44,6 +45,9 @@ type hotBench struct {
 	SpeedupJ8      float64 `json:"speedup_j8"`
 	AllocReduction float64 `json:"alloc_reduction"`
 	Identical      bool    `json:"output_identical"`
+	// PeakRSSBytes is the process's high-water resident set when the
+	// series finished (cumulative over every run in this process).
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
 }
 
 // hotTrials is the number of interleaved baseline/optimized trial
@@ -147,6 +151,7 @@ func expHotpath() {
 	bench.SpeedupJ1 = speedups[1]
 	bench.SpeedupJ8 = speedups[8]
 	bench.AllocReduction = allocRed
+	bench.PeakRSSBytes = profiling.PeakRSS()
 
 	fmt.Printf("speedup (median of %d paired trials): %.2fx at -j 1, %.2fx at -j 8; allocations: %.1f%% fewer; output identical: %v\n",
 		hotTrials, bench.SpeedupJ1, bench.SpeedupJ8, 100*bench.AllocReduction, bench.Identical)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/profiling"
 	"repro/internal/workload"
 	"repro/mc"
 )
@@ -41,6 +42,9 @@ type incrBench struct {
 	Checkers   []string  `json:"checkers"`
 	Jobs       int       `json:"jobs"`
 	Runs       []incrRun `json:"runs"`
+	// PeakRSSBytes is the process's high-water resident set when the
+	// series finished (cumulative over every run in this process).
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
 }
 
 // incrAnalyze runs the benchmark checker set over srcs, optionally
@@ -153,6 +157,7 @@ func expIncr() {
 		die(fmt.Errorf("%s: reduction %.1fx below the 5x bar", head.Edit, head.Reduction))
 	}
 
+	bench.PeakRSSBytes = profiling.PeakRSS()
 	data, err := json.MarshalIndent(bench, "", "  ")
 	if err != nil {
 		die(err)

@@ -60,6 +60,7 @@ var experiments = []struct {
 	{"incr", "incremental replay: warm-vs-cold live analyses per edit on the E11 workload (writes BENCH_incremental.json)", expIncr},
 	{"gov", "governance overhead: Run() vs RunContext+budgets on the E11 workload (writes BENCH_governance.json)", expGov},
 	{"multicheck", "multi-checker dispatch: 5/50/200-checker suites, compiled dispatch on/off (writes BENCH_multicheck.json)", expMulticheck},
+	{"scale", "memory-bounded streaming: KLoC/min and peak RSS at 4 tree sizes, spill on/off (writes BENCH_scale.json)", expScale},
 }
 
 // jobsFlag is the -j value; expPar adds it to its sweep, and 0 means
@@ -72,6 +73,14 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation (heap) profile to this file on exit")
 	flag.Parse()
+
+	// Hidden re-exec entry: the scale experiment runs each measurement
+	// in a child process so peak RSS (a process-lifetime high-water
+	// mark) is per-cell, not cumulative.
+	if *scaleCellFlag != "" {
+		runScaleCell(*scaleCellFlag)
+		return
+	}
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -98,7 +107,7 @@ func main() {
 	}
 	if ran == 0 {
 		stopProf()
-		fmt.Fprintln(os.Stderr, "mcbench: no such experiment (ids: f1-f6, t1, t2, e1-e12, par, hotpath, incr, gov, multicheck)")
+		fmt.Fprintln(os.Stderr, "mcbench: no such experiment (ids: f1-f6, t1, t2, e1-e12, par, hotpath, incr, gov, multicheck, scale)")
 		os.Exit(2)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/checkers"
+	"repro/internal/profiling"
 	"repro/internal/workload"
 	"repro/mc"
 )
@@ -51,6 +52,9 @@ type multiBench struct {
 	RatioOn200  float64 `json:"ratio_200v5_dispatch_on"`
 	RatioOff200 float64 `json:"ratio_200v5_dispatch_off"`
 	Identical   bool    `json:"output_identical"`
+	// PeakRSSBytes is the process's high-water resident set when the
+	// series finished (cumulative over every run in this process).
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
 }
 
 const multiTrials = 3
@@ -185,6 +189,7 @@ func expMulticheck() {
 		}
 	}
 
+	bench.PeakRSSBytes = profiling.PeakRSS()
 	bench.RatioOn50 = med[50][true] / med[5][true]
 	bench.RatioOff50 = med[50][false] / med[5][false]
 	bench.RatioOn200 = med[200][true] / med[5][true]

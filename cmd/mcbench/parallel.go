@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/profiling"
 	"repro/internal/workload"
 	"repro/mc"
 )
@@ -36,6 +37,9 @@ type parBench struct {
 	// ratios are scheduler noise and are omitted from the runs.
 	Constrained bool     `json:"constrained_host,omitempty"`
 	Runs        []parRun `json:"runs"`
+	// PeakRSSBytes is the process's high-water resident set when the
+	// series finished (cumulative over every run in this process).
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
 }
 
 // suiteAnalyze runs the full bundled suite over srcs at the given
@@ -154,6 +158,7 @@ func expPar() {
 			die(fmt.Errorf("-j %d output differs from -j 1 — determinism broken", r.Jobs))
 		}
 	}
+	bench.PeakRSSBytes = profiling.PeakRSS()
 	data, err := json.MarshalIndent(bench, "", "  ")
 	if err != nil {
 		die(err)

@@ -53,6 +53,8 @@ func main() {
 		pathSteps    = flag.Int64("budget-path-steps", 0, "per-path program-point budget; a tripped budget truncates the path and flags the run degraded (0 = unbounded)")
 		funcBlocks   = flag.Int64("budget-func-blocks", 0, "per-root block-visit budget (0 = unbounded)")
 		funcTime     = flag.Duration("budget-func-time", 0, "per-root wall-clock budget (0 = unbounded)")
+		maxResident  = flag.Int("max-resident-mb", 0, "soft memory budget in MiB: spill function summaries to disk and release ASTs once their unit retires; output is byte-identical (0 = keep everything resident)")
+		spillDir     = flag.String("spill-dir", "", "directory for spilled summaries (default: per-run temp dir; requires -max-resident-mb)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -98,6 +100,8 @@ func main() {
 			FuncBlocks: *funcBlocks,
 			FuncTime:   *funcTime,
 		},
+		MaxResidentMB: *maxResident,
+		SpillDir:      *spillDir,
 	}); err != nil {
 		fatal(err)
 	}
@@ -255,6 +259,10 @@ func main() {
 			s := res.Stats[n]
 			fmt.Printf("checker %s: points=%d blocks=%d paths=%d pruned=%d cache-hits=%d fn-cache-hits=%d\n",
 				n, s.Points, s.Blocks, s.Paths, s.PrunedPaths, s.CacheHits, s.FuncCacheHits)
+		}
+		if sp := res.Spill; sp != nil {
+			fmt.Printf("spill: evictions=%d reloads=%d puts=%d bytes=%d asts-released=%d\n",
+				sp.Evictions, sp.Reloads, sp.SpillPuts, sp.SpillBytes, sp.ASTsReleased)
 		}
 		if in := res.Incr; in != nil {
 			fmt.Printf("cache: files reparsed=%d replayed=%d; units live=%d replayed=%d; funcs live=%d replayed=%d changed=%d invalidated=%d; store hits=%d misses=%d puts=%d\n",

@@ -45,6 +45,8 @@ func main() {
 		pathSteps   = flag.Int64("budget-path-steps", 0, "per-path program-point budget (0 = unbounded)")
 		funcBlocks  = flag.Int64("budget-func-blocks", 0, "per-root block-visit budget (0 = unbounded)")
 		funcTime    = flag.Duration("budget-func-time", 0, "per-root wall-clock budget (0 = unbounded)")
+		maxResident = flag.Int("max-resident-mb", 0, "soft memory budget in MiB: spill summaries to disk and release ASTs after unit retirement; output unchanged (0 = keep everything resident)")
+		spillDir    = flag.String("spill-dir", "", "directory for spilled summaries (default: per-run temp dir; requires -max-resident-mb)")
 	)
 	var checkerFiles []string
 	flag.Func("checker-file", "load a metal checker from a file (repeatable)", func(path string) error {
@@ -72,6 +74,8 @@ func main() {
 			FuncBlocks: *funcBlocks,
 			FuncTime:   *funcTime,
 		},
+		MaxResidentMB: *maxResident,
+		SpillDir:      *spillDir,
 	}
 	for _, name := range strings.Split(*checkerList, ",") {
 		if name = strings.TrimSpace(name); name != "" {

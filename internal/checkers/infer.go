@@ -122,6 +122,11 @@ type callSite struct {
 // order (CFG blocks in construction order, points in execution order).
 func callSequence(fn *prog.Function) []callSite {
 	var out []callSite
+	if fn.Graph == nil {
+		// Streaming mode released this function's AST (DESIGN.md §12);
+		// it simply contributes no call sites to the inference.
+		return nil
+	}
 	for _, b := range fn.Graph.Blocks {
 		for _, call := range cfg.CallsIn(b) {
 			if id, ok := call.Fun.(*cc.Ident); ok {

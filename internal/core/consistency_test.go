@@ -48,33 +48,42 @@ func runWith(t *testing.T, p *prog.Program, checkerSrc string, opts Options) *re
 	return en.Run()
 }
 
-func checkCacheConsistency(t *testing.T, name string, srcs map[string]string, checkerSrc string) {
+// rebuild re-assembles a fresh Program (fresh *Function identities, so
+// every engine below starts cold) from source. Programs no longer
+// retain their parsed files (DESIGN.md §12), so a fresh build means a
+// fresh parse.
+func rebuild(t *testing.T, name string, srcs map[string]string) *prog.Program {
 	t.Helper()
 	p, err := prog.BuildSource(srcs)
 	if err != nil {
 		t.Fatalf("%s: %v", name, err)
 	}
+	return p
+}
+
+func checkCacheConsistency(t *testing.T, name string, srcs map[string]string, checkerSrc string) {
+	t.Helper()
 	base := DefaultOptions()
 	base.MaxBlocks = 3_000_000
 
-	full := reportKeys(runWith(t, p, checkerSrc, base))
+	full := reportKeys(runWith(t, rebuild(t, name, srcs), checkerSrc, base))
 
 	noBlock := base
 	noBlock.BlockCache = false
-	if got := reportKeys(runWith(t, prog.Build(p.Files...), checkerSrc, noBlock)); !equalKeys(got, full) {
+	if got := reportKeys(runWith(t, rebuild(t, name, srcs), checkerSrc, noBlock)); !equalKeys(got, full) {
 		t.Errorf("%s: block cache changed reports:\n  with:    %v\n  without: %v", name, full, got)
 	}
 
 	noFunc := base
 	noFunc.FunctionCache = false
-	if got := reportKeys(runWith(t, prog.Build(p.Files...), checkerSrc, noFunc)); !equalKeys(got, full) {
+	if got := reportKeys(runWith(t, rebuild(t, name, srcs), checkerSrc, noFunc)); !equalKeys(got, full) {
 		t.Errorf("%s: function cache changed reports:\n  with:    %v\n  without: %v", name, full, got)
 	}
 
 	noneOpts := base
 	noneOpts.BlockCache = false
 	noneOpts.FunctionCache = false
-	if got := reportKeys(runWith(t, prog.Build(p.Files...), checkerSrc, noneOpts)); !equalKeys(got, full) {
+	if got := reportKeys(runWith(t, rebuild(t, name, srcs), checkerSrc, noneOpts)); !equalKeys(got, full) {
 		t.Errorf("%s: both caches changed reports:\n  with:    %v\n  without: %v", name, full, got)
 	}
 }
@@ -120,20 +129,17 @@ func TestCacheConsistencyLinuxLike(t *testing.T) {
 // caching (a cached path skips re-counting) — never grow.
 func TestCacheExampleCountsBounded(t *testing.T) {
 	pr := workload.LockReliability(20, 2, 5)
-	p, err := prog.BuildSource(map[string]string{"l.c": pr.Source})
-	if err != nil {
-		t.Fatal(err)
-	}
+	srcs := map[string]string{"l.c": pr.Source}
 	c, err := metal.Parse(checkers.Lock)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cached := NewEngine(p, c, DefaultOptions())
+	cached := NewEngine(rebuild(t, "examples", srcs), c, DefaultOptions())
 	cached.Run()
 	off := DefaultOptions()
 	off.BlockCache = false
 	off.FunctionCache = false
-	uncached := NewEngine(prog.Build(p.Files...), c, off)
+	uncached := NewEngine(rebuild(t, "examples", srcs), c, off)
 	uncached.Run()
 
 	rcC, rcU := cached.RuleStats["lock"], uncached.RuleStats["lock"]

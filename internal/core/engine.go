@@ -70,6 +70,15 @@ type Options struct {
 	// roots. Semantics-preserving (byte-identical output); off runs
 	// the faithful per-engine compat path.
 	MultiDispatch bool
+	// MaxResidentMB is a soft memory budget in MiB; > 0 enables the
+	// streaming mode (DESIGN.md §12): function summaries spill to an
+	// on-disk store and funcInfo caches plus ASTs are evicted at unit
+	// retirement, with the budget sizing the decoded-summary reload
+	// LRU. Semantics-preserving — output is byte-identical to the
+	// in-memory run at every parallelism level and through the cache —
+	// so, like MatchMemo and friends, it stays out of the incremental
+	// cache's options fingerprint.
+	MaxResidentMB int
 	// Budgets bounds per-path and per-function traversal work
 	// (governance layer, DESIGN.md §9). Zero value = unlimited.
 	Budgets Budgets
@@ -173,6 +182,9 @@ type Engine struct {
 	// Failure is set when the checker panicked mid-run (a metal action
 	// or Go-callout bug); reports emitted before the crash survive.
 	Failure *CheckerFailure
+	// Spill tallies streaming-mode activity: funcInfo evictions at
+	// unit retirement and summary reloads from the store (stream.go).
+	Spill SpillCounts
 
 	// Run-scoped governance state (see governance.go). govern gates
 	// the per-block checks: it is false unless a cancellable context
@@ -208,6 +220,16 @@ type Engine struct {
 	// index in the compiled checker list.
 	compiled   *CompiledDispatch
 	checkerIdx int
+	// Streaming mode (stream.go): spill/spillKey address the summary
+	// store, retire schedules eviction, onRetire notifies the mc
+	// releaser, spilled gates reload to own evictions, and
+	// spillReloadAll opens reload for inspection-only engines.
+	spill          SummarySpill
+	spillKey       func(*prog.Function) string
+	retire         *prog.RetirePlan
+	onRetire       func([]*prog.Function)
+	spilled        map[*prog.Function]bool
+	spillReloadAll bool
 }
 
 // NewEngine builds an engine for one checker over a program.
@@ -306,6 +328,9 @@ func (en *Engine) funcInfo(fn *prog.Function) *funcInfo {
 	if !ok {
 		fi = newFuncInfo(fn.Graph, en.intern)
 		en.funcs[fn] = fi
+		// Streaming mode: an evicted function's summaries come back
+		// from the spill store on demand (inspection only; stream.go).
+		en.maybeReload(fn, fi)
 	}
 	return fi
 }

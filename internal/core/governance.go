@@ -217,11 +217,15 @@ func (en *Engine) RunRootsContext(ctx context.Context, roots []*prog.Function) [
 		// with an empty segment, byte-identical to having run it.
 		if en.compiled != nil && en.compiled.SkipRoot(en.checkerIdx, root) {
 			out = append(out, RootRun{Root: root})
+			en.retireAfter(root)
 			continue
 		}
 		before := len(en.Reports.Reports)
 		en.runRootIsolated(root)
 		out = append(out, RootRun{Root: root, Reports: en.Reports.Reports[before:]})
+		// Streaming mode: spill and drop whatever this root's
+		// completion retired (stream.go; no-op without SetRetire).
+		en.retireAfter(root)
 	}
 	// The interner's struct-key cache is run-scoped: dropping it here
 	// bounds the engine's footprint when it is re-run over a resident

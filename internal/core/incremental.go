@@ -157,7 +157,7 @@ func (en *Engine) ExportSummaries(fns []*prog.Function) *SummaryData {
 	sd := &SummaryData{}
 	for _, fn := range fns {
 		fd := FuncSummaryData{Func: prog.FuncID(fn)}
-		if fi, ok := en.funcs[fn]; ok {
+		if fi, ok := en.funcs[fn]; ok && fn.Graph != nil {
 			fd.Analyses = fi.Analyses
 			for _, b := range fn.Graph.Blocks {
 				bi, ok := fi.blocks[b]
@@ -197,7 +197,10 @@ func (en *Engine) ImportSummaries(sd *SummaryData) {
 	}
 	for _, fd := range sd.Funcs {
 		fn := byID[fd.Func]
-		if fn == nil {
+		if fn == nil || fn.Graph == nil {
+			// Unknown function, or one whose AST the streaming mode
+			// released: without its CFG the block ids cannot be mapped
+			// back, so the summary stays in the store.
 			continue
 		}
 		byBlock := map[int]*cfg.Block{}

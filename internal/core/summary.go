@@ -243,6 +243,12 @@ type funcInfo struct {
 
 func newFuncInfo(g *cfg.Graph, in *interner) *funcInfo {
 	fi := &funcInfo{blocks: map[*cfg.Block]*blockInfo{}, in: in, pre: map[preKey]preVal{}}
+	if g == nil {
+		// Released AST (streaming mode): the shell still accepts
+		// reloaded summaries via info(), keyed by whatever *cfg.Block
+		// pointers the caller holds.
+		return fi
+	}
 	for _, b := range g.Blocks {
 		fi.blocks[b] = newBlockInfo(in)
 	}
@@ -470,7 +476,9 @@ func (en *Engine) SuffixSummaryString(fnName string, b *cfg.Block) string {
 // and suffix summaries, in the style of Figure 5.
 func (en *Engine) SupergraphString(fnName string) string {
 	fn := en.Prog.Lookup(fnName)
-	if fn == nil {
+	if fn == nil || fn.Graph == nil {
+		// Unknown function, or one whose AST the streaming mode
+		// released (DESIGN.md §12) — nothing renderable remains.
 		return ""
 	}
 	var sb strings.Builder

@@ -1,0 +1,26 @@
+package profiling
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestPeakRSSPositive(t *testing.T) {
+	if got := PeakRSS(); got <= 0 {
+		t.Fatalf("PeakRSS() = %d, want > 0", got)
+	}
+}
+
+// The high-water mark can only move up.
+func TestPeakRSSMonotonic(t *testing.T) {
+	before := PeakRSS()
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 1<<16))
+	}
+	runtime.KeepAlive(sink)
+	after := PeakRSS()
+	if after < before {
+		t.Fatalf("PeakRSS went backwards: %d -> %d", before, after)
+	}
+}

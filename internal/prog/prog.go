@@ -31,10 +31,36 @@ type Function struct {
 	Callers []*Function
 }
 
-// Program is the whole-program view the analysis engine consumes.
+// ReleaseBody drops the function's CFG, type map, and body AST so the
+// garbage collector can reclaim them — the AST-eviction half of the
+// streaming mode (DESIGN.md §12). The declaration shell (name, file,
+// params) survives, so FuncID, call-graph links, and spill keys keep
+// working. This is the one sanctioned mutation of a built Program; the
+// caller must guarantee no traversal can still visit the function
+// (prog.Units: no call edge leaves a unit, so once a unit's last root
+// finishes, its functions are unreachable by any in-flight DFS) and
+// must publish the write with an ordering barrier of its own (the mc
+// releaser does it under a mutex its readers also pass through). A
+// released function looks like one without a body: Resolve still finds
+// it, but interprocedural descent treats it as summary-less, exactly
+// the §6 missing-CFG case — which is why release is only sound
+// post-traversal.
+func (fn *Function) ReleaseBody() {
+	fn.Graph = nil
+	fn.Types = nil
+	if fn.Decl != nil {
+		fn.Decl.Body = nil
+	}
+}
+
+// Program is the whole-program view the analysis engine consumes. The
+// parsed *cc.File containers are deliberately not retained: after Build
+// extracts functions, globals, and the type environment, nothing in the
+// analysis reads raw files, and dropping them lets the garbage
+// collector reclaim non-function declarations as soon as the caller's
+// own references lapse (DESIGN.md §12).
 type Program struct {
-	Files []*cc.File
-	Env   *cc.TypeEnv
+	Env *cc.TypeEnv
 	// Funcs maps resolvable names to function definitions. Static
 	// functions are registered under both "file.c:name" and, when not
 	// shadowed by an external definition, the bare name.
@@ -58,7 +84,6 @@ func staticKey(file, name string) string { return file + ":" + name }
 // Build assembles a program from parsed files.
 func Build(files ...*cc.File) *Program {
 	p := &Program{
-		Files:       files,
 		Env:         cc.NewTypeEnv(files...),
 		Funcs:       map[string]*Function{},
 		GlobalNames: map[string]bool{},

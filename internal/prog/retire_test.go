@@ -1,0 +1,117 @@
+package prog
+
+import "testing"
+
+// retireSrc has two units: A = {a1, a2, a_leaf} (two roots sharing a
+// callee) and B = {b1} (a singleton).
+const retireSrc = `
+void a_leaf(void) {}
+void a1(void) { a_leaf(); }
+void a2(void) { a_leaf(); }
+void b1(void) {}
+`
+
+func buildRetire(t *testing.T) *Program {
+	t.Helper()
+	p, err := BuildSource(map[string]string{"r.c": retireSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func nameSet(fns []*Function) map[string]bool {
+	out := map[string]bool{}
+	for _, fn := range fns {
+		out[fn.Name] = true
+	}
+	return out
+}
+
+// A unit's functions retire exactly once, after its LAST root in the
+// traversal order — the invariant the streaming mode's eviction safety
+// rests on (no call edge crosses a unit, so nothing after that root
+// can revisit them).
+func TestPlanRetireLastRootPerUnit(t *testing.T) {
+	p := buildRetire(t)
+	plan := p.PlanRetire(p.Roots)
+
+	// Locate a1 and a2 in root order; the later one retires unit A.
+	var firstA, lastA, b *Function
+	for _, r := range p.Roots {
+		switch r.Name {
+		case "a1", "a2":
+			if firstA == nil {
+				firstA = r
+			}
+			lastA = r
+		case "b1":
+			b = r
+		}
+	}
+	if firstA == nil || lastA == nil || firstA == lastA || b == nil {
+		t.Fatalf("unexpected roots: %v", nameSet(p.Roots))
+	}
+
+	if got := plan.After(firstA); len(got) != 0 {
+		t.Errorf("first root of unit A retired %v; want nothing", nameSet(got))
+	}
+	gotA := nameSet(plan.After(lastA))
+	for _, want := range []string{"a1", "a2", "a_leaf"} {
+		if !gotA[want] {
+			t.Errorf("last root of unit A did not retire %s (got %v)", want, gotA)
+		}
+	}
+	if gotA["b1"] {
+		t.Error("unit A's retirement leaked b1 across the unit boundary")
+	}
+	if gotB := nameSet(plan.After(b)); !gotB["b1"] || len(gotB) != 1 {
+		t.Errorf("b1's retirement = %v; want exactly {b1}", gotB)
+	}
+
+	// Every function retires exactly once across the whole plan.
+	seen := map[*Function]int{}
+	for _, r := range p.Roots {
+		for _, fn := range plan.After(r) {
+			seen[fn]++
+		}
+	}
+	for _, fn := range p.All {
+		if seen[fn] != 1 {
+			t.Errorf("%s retired %d times; want exactly once", fn.Name, seen[fn])
+		}
+	}
+}
+
+// Analyzing a root subset only ever retires units whose roots appear
+// in the list; everything else is conservatively never retired.
+func TestPlanRetireRootSubset(t *testing.T) {
+	p := buildRetire(t)
+	a1 := p.Lookup("a1")
+	plan := p.PlanRetire([]*Function{a1})
+
+	got := nameSet(plan.After(a1))
+	for _, want := range []string{"a1", "a2", "a_leaf"} {
+		if !got[want] {
+			t.Errorf("subset plan: a1 did not retire %s (got %v)", want, got)
+		}
+	}
+	if got["b1"] {
+		t.Error("subset plan retired b1, whose unit has no listed root")
+	}
+	if rest := plan.After(p.Lookup("b1")); len(rest) != 0 {
+		t.Errorf("unlisted root retired %v; want nothing", nameSet(rest))
+	}
+}
+
+// Nil-safety: empty plans and nil receivers retire nothing.
+func TestPlanRetireEmpty(t *testing.T) {
+	p := buildRetire(t)
+	if got := p.PlanRetire(nil).After(p.Roots[0]); got != nil {
+		t.Errorf("empty plan retired %v", nameSet(got))
+	}
+	var rp *RetirePlan
+	if got := rp.After(p.Roots[0]); got != nil {
+		t.Errorf("nil plan retired %v", nameSet(got))
+	}
+}

@@ -62,6 +62,14 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Budgets bounds each traversal inside a run (mc.RunConfig.Budgets).
 	Budgets mc.Budgets
+	// MaxResidentMB enables streaming mode (DESIGN.md §12): analyzed
+	// summaries spill to disk and ASTs are released once their unit
+	// retires, bounding the daemon's peak residency. 0 = keep
+	// everything in memory. Output is identical either way.
+	MaxResidentMB int
+	// SpillDir is where streaming mode spills summaries; empty means a
+	// per-run temp directory.
+	SpillDir string
 }
 
 // DefaultMaxInFlight is the admission bound when Config.MaxInFlight
@@ -97,6 +105,12 @@ type Server struct {
 	checkerFailures int64
 	degradedRuns    int64
 	inflight        int64
+	// Cumulative streaming counters across all runs (zero unless
+	// Config.MaxResidentMB > 0; DESIGN.md §12).
+	spillEvictions int64
+	spillReloads   int64
+	spillBytes     int64
+	astsReleased   int64
 }
 
 // New builds a daemon from the configuration.
@@ -146,10 +160,12 @@ func retryAfterSeconds(d time.Duration, inflight int64) int {
 func (s *Server) newAnalyzer(tree map[string]string) (*mc.Analyzer, error) {
 	a := mc.NewAnalyzer()
 	cfg := mc.RunConfig{
-		Options:    s.cfg.Options,
-		Jobs:       s.cfg.Jobs,
-		CacheStore: s.store,
-		Budgets:    s.cfg.Budgets,
+		Options:       s.cfg.Options,
+		Jobs:          s.cfg.Jobs,
+		CacheStore:    s.store,
+		Budgets:       s.cfg.Budgets,
+		MaxResidentMB: s.cfg.MaxResidentMB,
+		SpillDir:      s.cfg.SpillDir,
 	}
 	if err := a.Configure(cfg); err != nil {
 		return nil, err
@@ -208,6 +224,9 @@ type AnalyzeResponse struct {
 	Failures     []*mc.CheckerFailure `json:"failures,omitempty"`
 	Degraded     bool                 `json:"degraded,omitempty"`
 	Degradations []mc.DegradeEvent    `json:"degradations,omitempty"`
+	// Streaming-mode accounting for this run (nil unless the daemon
+	// runs with a memory budget; DESIGN.md §12).
+	Spill *mc.SpillStats `json:"spill,omitempty"`
 }
 
 // ReportJSON is one rendered report.
@@ -372,6 +391,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if res.Degraded {
 		s.degradedRuns++
 	}
+	if sp := res.Spill; sp != nil {
+		s.spillEvictions += sp.Evictions
+		s.spillReloads += sp.Reloads
+		s.spillBytes += sp.SpillBytes
+		s.astsReleased += sp.ASTsReleased
+	}
 	s.srcs = next
 	s.last = res
 	s.lastIncr = res.Incr
@@ -386,6 +411,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		Failures:     res.Failures,
 		Degraded:     res.Degraded,
 		Degradations: res.Degradations,
+		Spill:        res.Spill,
 	}
 	for _, rep := range res.Ranked() {
 		resp.Ranked = append(resp.Ranked, reportJSON(rep))
@@ -445,6 +471,12 @@ type StatsResponse struct {
 	CheckerFailures int64 `json:"checker_failures"`
 	DegradedRuns    int64 `json:"degraded_runs"`
 	MaxInFlight     int   `json:"max_inflight"`
+	// Streaming counters, cumulative across runs (DESIGN.md §12).
+	SpillEvictions int64 `json:"spill_evictions"`
+	SpillReloads   int64 `json:"spill_reloads"`
+	SpillBytes     int64 `json:"spill_bytes"`
+	ASTsReleased   int64 `json:"asts_released"`
+	MaxResidentMB  int   `json:"max_resident_mb,omitempty"`
 
 	Files    int                   `json:"files"`
 	Reports  int                   `json:"reports"`
@@ -470,6 +502,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CheckerFailures: s.checkerFailures,
 		DegradedRuns:    s.degradedRuns,
 		MaxInFlight:     s.cfg.MaxInFlight,
+		SpillEvictions:  s.spillEvictions,
+		SpillReloads:    s.spillReloads,
+		SpillBytes:      s.spillBytes,
+		ASTsReleased:    s.astsReleased,
+		MaxResidentMB:   s.cfg.MaxResidentMB,
 		Files:           len(s.srcs),
 		Incr:            s.lastIncr,
 	}
@@ -506,6 +543,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("xgccd_timeouts_total", s.timeouts, "analyses cancelled by the request deadline")
 	counter("xgccd_checker_failures_total", s.checkerFailures, "checkers contained after panicking mid-run")
 	counter("xgccd_degraded_runs_total", s.degradedRuns, "runs with budget-truncated traversals")
+	counter("xgccd_spill_evictions_total", s.spillEvictions, "function summaries evicted to the spill store")
+	counter("xgccd_spill_reloads_total", s.spillReloads, "summaries demand-loaded back from the spill store")
+	counter("xgccd_spill_bytes_total", s.spillBytes, "bytes written to the spill store")
+	counter("xgccd_asts_released_total", s.astsReleased, "function bodies released after unit retirement")
 	gauge("xgccd_inflight", float64(s.inflight), "analyze requests currently admitted")
 	gauge("xgccd_resident_files", float64(len(s.srcs)), "sources in the resident tree")
 	if s.last != nil {

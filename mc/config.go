@@ -53,6 +53,16 @@ type RunConfig struct {
 	// Options.Budgets (so callers can pass DefaultOptions plus a
 	// budget without touching the struct).
 	Budgets Budgets
+	// MaxResidentMB enables the streaming mode (DESIGN.md §12) with a
+	// soft memory budget in MiB; > 0 overrides Options.MaxResidentMB.
+	// Output stays byte-identical to the in-memory run.
+	MaxResidentMB int
+	// SpillDir is the streaming mode's summary-store directory
+	// (created if needed). Empty spills to a per-run temp directory
+	// that is removed when the run returns — set it (or share
+	// CacheDir's parent) when post-run supergraph inspection of
+	// evicted functions matters.
+	SpillDir string
 	// Timeout bounds each RunContext call; RunContext derives a
 	// deadline context per run. Zero means no analyzer-imposed bound.
 	Timeout time.Duration
@@ -70,6 +80,12 @@ func (a *Analyzer) Configure(cfg RunConfig) error {
 	}
 	if cfg.Budgets.Active() {
 		a.opts.Budgets = cfg.Budgets
+	}
+	if cfg.MaxResidentMB > 0 {
+		a.opts.MaxResidentMB = cfg.MaxResidentMB
+	}
+	if cfg.SpillDir != "" {
+		a.spillDir = cfg.SpillDir
 	}
 	if cfg.Jobs < 0 {
 		a.jobs = 0

@@ -146,7 +146,7 @@ func (a *Analyzer) runCached(ctx context.Context) (*Result, error) {
 	// signatures) every unit's analysis consults; funcHash the full
 	// emitted content (positions included — reports embed them).
 	optsFP := optionsFingerprint(a.opts)
-	envFP := cc.EnvHash(p.Files)
+	envFP := cc.EnvHash(files)
 	funcHash := map[*prog.Function]string{}
 	for _, fn := range p.All {
 		funcHash[fn] = cc.HashDecl(fn.Decl)
@@ -157,7 +157,7 @@ func (a *Analyzer) runCached(ctx context.Context) (*Result, error) {
 	// Correctness never depends on it — content-addressed keys alone
 	// decide reuse.
 	manifest := &cache.Manifest{Files: map[string]string{}, Funcs: map[string]string{}}
-	for _, f := range p.Files {
+	for _, f := range files {
 		if src, ok := a.srcs[f.Name]; ok {
 			manifest.Files[f.Name] = cc.HashBytes([]byte(src))
 		} else {
@@ -183,6 +183,24 @@ func (a *Analyzer) runCached(ctx context.Context) (*Result, error) {
 
 	for _, m := range a.sortedMarks() {
 		a.shared.Mark(m.name, m.key)
+	}
+
+	// Streaming mode (DESIGN.md §12): unit engines spill summaries and
+	// evict their caches at retirement, replayed tasks count straight
+	// toward AST release (a replay never touches the AST), and the
+	// merge engines read the spill store lazily instead of importing
+	// every summary up front — the cached path's dominant resident
+	// cost. A streaming entry carries no inline Summaries; either mode
+	// reads both entry shapes, so spill on/off share cache keys.
+	var stream *streamState
+	var retire *prog.RetirePlan
+	if a.opts.MaxResidentMB > 0 {
+		stream, err = a.newStream(p, files, len(a.checkers))
+		if err != nil {
+			return nil, err
+		}
+		defer stream.cleanup()
+		retire = p.PlanRetire(p.Roots)
 	}
 	incr.BuildNanos = time.Since(t0).Nanoseconds()
 
@@ -247,6 +265,10 @@ func (a *Analyzer) runCached(ctx context.Context) (*Result, error) {
 				if compiled != nil {
 					en.SetCompiled(compiled, t.ci)
 				}
+				if stream != nil {
+					en.SetSpill(stream.store, stream.keyFor(a.checkerFPs[t.ci]))
+					en.SetRetire(retire, stream.release.done)
+				}
 				t.runs = en.RunRootsContext(ctx, t.roots)
 				t.eng = en
 			}(t)
@@ -263,6 +285,11 @@ func (a *Analyzer) runCached(ctx context.Context) (*Result, error) {
 			if t.entry != nil {
 				for _, ev := range t.entry.Marks {
 					a.shared.Mark(ev.Name, ev.Key)
+				}
+				if stream != nil {
+					// A replayed unit never touches the AST again;
+					// count its checker pass toward release now.
+					stream.release.done(t.funcs)
 				}
 				continue
 			}
@@ -290,6 +317,14 @@ func (a *Analyzer) runCached(ctx context.Context) (*Result, error) {
 	}
 	for ci, c := range a.checkers {
 		me := core.NewEngineShared(p, c, a.opts, a.shared)
+		if stream != nil {
+			// Streaming: the merge engine holds no summaries at all —
+			// inspection (SupergraphString) reloads them from the spill
+			// store on demand. AllowSpillReload is safe here because a
+			// merge engine never traverses.
+			me.SetSpill(stream.store, stream.keyFor(a.checkerFPs[ci]))
+			me.AllowSpillReload()
+		}
 		agg := core.Stats{Analyses: map[string]int{}}
 		for _, t := range tasksByChecker[ci] {
 			if t.entry != nil {
@@ -302,7 +337,7 @@ func (a *Analyzer) runCached(ctx context.Context) (*Result, error) {
 				for rule, rc := range t.entry.Rules {
 					mergeRule(me, rule, rc)
 				}
-				if t.entry.Summaries != nil {
+				if t.entry.Summaries != nil && stream == nil {
 					me.ImportSummaries(t.entry.Summaries)
 				}
 				incr.UnitsReplayed++
@@ -316,7 +351,9 @@ func (a *Analyzer) runCached(ctx context.Context) (*Result, error) {
 				for rule, rc := range en.RuleStats {
 					mergeRule(me, rule, rc)
 				}
-				me.ImportSummaries(en.ExportSummaries(t.funcs))
+				if stream == nil {
+					me.ImportSummaries(en.ExportSummaries(t.funcs))
+				}
 				incr.UnitsLive++
 				incr.FuncsAnalyzedLive += sumAnalyses(&en.Stats)
 				collectGovernance(res, en)
@@ -349,6 +386,18 @@ func (a *Analyzer) runCached(ctx context.Context) (*Result, error) {
 	incr.CacheMisses = a.cacheMetrics.Misses()
 	incr.CachePuts = a.cacheMetrics.Puts()
 	res.Incr = incr
+	if stream != nil {
+		ens := make([]*core.Engine, 0, len(a.checkers))
+		for _, ts := range tasksByChecker {
+			for _, t := range ts {
+				ens = append(ens, t.eng) // nil for replays; collectSpill skips
+			}
+		}
+		for _, me := range res.Engines {
+			ens = append(ens, me)
+		}
+		collectSpill(res, stream, ens)
+	}
 	if err := ctx.Err(); err != nil {
 		return res, err
 	}
@@ -367,14 +416,21 @@ func (a *Analyzer) lookupTask(ci int, funcs, roots []*prog.Function, key string)
 	return t
 }
 
-// buildEntry serializes a live unit run for the store.
+// buildEntry serializes a live unit run for the store. Streaming runs
+// write no inline Summaries: the engine evicted them to the spill
+// store at retirement, and inline copies would put the whole tree's
+// summaries back into every warm run's decode path. Summaries are
+// advisory (inspection only), so entries with and without them replay
+// identically and the two modes share cache keys.
 func (a *Analyzer) buildEntry(t *unitTask) *cache.UnitEntry {
 	en := t.eng
 	e := &cache.UnitEntry{
-		Stats:     en.Stats,
-		Rules:     en.RuleStats,
-		Marks:     en.MarkLog,
-		Summaries: en.ExportSummaries(t.funcs),
+		Stats: en.Stats,
+		Rules: en.RuleStats,
+		Marks: en.MarkLog,
+	}
+	if a.opts.MaxResidentMB == 0 {
+		e.Summaries = en.ExportSummaries(t.funcs)
 	}
 	for _, rr := range t.runs {
 		e.Roots = append(e.Roots, cache.RootReports{
@@ -422,7 +478,12 @@ func sumAnalyses(s *core.Stats) int {
 	return n
 }
 
-// optionsFingerprint renders every Options field into the cache key.
+// optionsFingerprint renders every semantics-affecting Options field
+// into the cache key. Semantics-preserving switches (MatchMemo,
+// BlockFilter, TupleIntern, LeanAlloc, MaxResidentMB) are deliberately
+// excluded: they cannot change any output byte, so runs under either
+// setting share entries — which is also what lets the streaming
+// determinism test pin spill-on warm runs against spill-off cold ones.
 func optionsFingerprint(o Options) string {
 	var sb strings.Builder
 	sb.WriteString("opts|")

@@ -67,6 +67,9 @@ type Analyzer struct {
 	// timeout bounds each RunContext call (RunConfig.Timeout); zero
 	// means no bound beyond the caller's context.
 	timeout time.Duration
+	// spillDir is the streaming mode's persistent summary-store
+	// directory (RunConfig.SpillDir); empty uses a per-run temp dir.
+	spillDir string
 }
 
 // NewAnalyzer returns an analyzer with default options.
@@ -212,6 +215,10 @@ type Result struct {
 	// Incr reports what the cache-aware run replayed versus analyzed
 	// live; nil when the cache is disabled.
 	Incr *IncrStats
+	// Spill reports the streaming mode's memory-bounding activity
+	// (evictions, reloads, spill bytes, ASTs released); nil when
+	// Options.MaxResidentMB is 0 (DESIGN.md §12).
+	Spill *SpillStats
 	// Failures lists checkers that panicked mid-run (a metal action or
 	// Go-callout bug). A failed checker keeps the reports it emitted
 	// before crashing; the remaining checkers run to completion.
@@ -278,9 +285,28 @@ func (a *Analyzer) RunContext(ctx context.Context) (*Result, error) {
 		a.shared.Mark(m.name, m.key)
 	}
 
+	// Streaming mode (DESIGN.md §12): spill summaries and evict
+	// per-function state at unit retirement, releasing ASTs once every
+	// checker is done with them. Eviction never touches state a
+	// remaining traversal can read, so output is unchanged.
+	var stream *streamState
+	var retire *prog.RetirePlan
+	if a.opts.MaxResidentMB > 0 {
+		stream, err = a.newStream(p, files, len(a.checkers))
+		if err != nil {
+			return nil, err
+		}
+		defer stream.cleanup()
+		retire = p.PlanRetire(p.Roots)
+	}
+
 	engines := make([]*core.Engine, len(a.checkers))
 	for i, c := range a.checkers {
 		engines[i] = core.NewEngineShared(p, c, a.opts, a.shared)
+		if stream != nil {
+			engines[i].SetSpill(stream.store, stream.keyFor(a.checkerFPs[i]))
+			engines[i].SetRetire(retire, stream.release.done)
+		}
 	}
 	// Multi-checker compiled dispatch (DESIGN.md §11): one automaton
 	// over the union of all loaded checkers' patterns, built once per
@@ -315,6 +341,7 @@ func (a *Analyzer) RunContext(ctx context.Context) (*Result, error) {
 		res.Engines[c.Name] = en
 		collectGovernance(res, en)
 	}
+	collectSpill(res, stream, engines)
 	if a.history != nil {
 		res.Reports = a.history.Suppress(res.Reports)
 	}

@@ -1,0 +1,115 @@
+package mc
+
+// Determinism property of the streaming mode (DESIGN.md §12): with a
+// memory budget set, every configuration — any parallelism, through a
+// cold or warm incremental cache, or none — must produce output
+// byte-identical to the unbounded in-memory run. The matrix below also
+// pins the cache-key design decision that MaxResidentMB is excluded
+// from the options fingerprint: a store warmed by a streaming run
+// replays under a non-streaming run and vice versa.
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/workload"
+)
+
+// streamRun analyzes srcs with the full bundled suite under the given
+// parallelism, memory budget (0 = streaming off), and cache store
+// (nil = plain path).
+func streamRun(t *testing.T, srcs map[string]string, jobs, maxMB int, store cache.Store) *Result {
+	t.Helper()
+	a := NewAnalyzer()
+	if err := a.Configure(RunConfig{
+		Jobs:          jobs,
+		MaxResidentMB: maxMB,
+		CacheStore:    store,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range srcs {
+		a.AddSource(name, src)
+	}
+	for _, s := range BundledCheckers() {
+		if err := a.LoadBundledChecker(s.Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.MarkFunction("net_wait", "blocking")
+	res, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// streamDigest hashes everything a user would diff: the ranked,
+// why-traced reports plus the grouped z-statistics.
+func streamDigest(res *Result) string {
+	var sb strings.Builder
+	for _, r := range res.Ranked() {
+		sb.WriteString(r.Detailed())
+	}
+	for _, g := range res.Grouped() {
+		fmt.Fprintf(&sb, "%s %.3f %d\n", g.Rule, g.Z, len(g.Reports))
+	}
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(sb.String())))
+}
+
+func TestStreamingDeterminismMatrix(t *testing.T) {
+	srcs, _ := workload.MixedTree(3, 12, 7)
+
+	refRes := streamRun(t, srcs, 1, 0, nil)
+	ref := streamDigest(refRes)
+	if len(refRes.Reports) == 0 {
+		t.Fatal("reference run produced no reports; workload regressed")
+	}
+	if refRes.Spill != nil {
+		t.Fatal("streaming off must leave Result.Spill nil")
+	}
+
+	check := func(name string, res *Result) {
+		t.Helper()
+		if got := streamDigest(res); got != ref {
+			t.Errorf("%s: output differs from the in-memory reference", name)
+		}
+	}
+
+	// Plain path, spill on/off at each parallelism.
+	for _, jobs := range []int{1, 8} {
+		check(fmt.Sprintf("plain/off/-j%d", jobs), streamRun(t, srcs, jobs, 0, nil))
+		res := streamRun(t, srcs, jobs, 64, nil)
+		check(fmt.Sprintf("plain/on/-j%d", jobs), res)
+		sp := res.Spill
+		if sp == nil {
+			t.Fatalf("-j%d: streaming run reported no SpillStats", jobs)
+		}
+		if sp.Evictions == 0 || sp.SpillPuts == 0 || sp.SpillBytes == 0 || sp.ASTsReleased == 0 {
+			t.Errorf("-j%d: streaming did not engage: %+v", jobs, sp)
+		}
+	}
+
+	// Cached path: cold and warm, spill on/off, both parallelisms. The
+	// warm stores are deliberately crossed — warmed streaming, replayed
+	// non-streaming and vice versa — because MaxResidentMB is excluded
+	// from the cache fingerprint (it is semantics-preserving), so the
+	// two modes share entries.
+	for _, warmMB := range []int{0, 64} {
+		warmed := cache.NewMemStore()
+		check(fmt.Sprintf("cached/cold/warm-mb=%d", warmMB), streamRun(t, srcs, 1, warmMB, warmed))
+		for _, runMB := range []int{0, 64} {
+			for _, jobs := range []int{1, 8} {
+				name := fmt.Sprintf("cached/warm-mb=%d/run-mb=%d/-j%d", warmMB, runMB, jobs)
+				res := streamRun(t, srcs, jobs, runMB, warmed)
+				check(name, res)
+				if res.Incr == nil || res.Incr.UnitsReplayed == 0 {
+					t.Errorf("%s: nothing replayed from the warm store — modes do not share cache entries", name)
+				}
+			}
+		}
+	}
+}
