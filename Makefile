@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet staticcheck build test race bench-parallel bench-incr bench-gov bench-hotpath bench-multicheck bench-scale bench-micro profile clean
+.PHONY: check fmt vet staticcheck build test race bench-parallel bench-incr bench-gov bench-hotpath bench-multicheck bench-scale bench-feas bench-micro profile clean
 
 check: fmt vet staticcheck build race
 
@@ -77,6 +77,16 @@ SCALE_FLAGS ?=
 bench-scale:
 	$(GO) run ./cmd/mcbench -exp scale $(SCALE_FLAGS)
 
+# Feasibility-verdict series (DESIGN.md §13): seeded TP/FP population
+# through the second-tier pass; dies if any seeded true positive is
+# marked infeasible (false kill), if no seeded false positive is
+# killed, or if the warm run replays no cached verdicts. Writes
+# BENCH_feas.json. CI passes FEAS_FLAGS=-feas-short (smaller
+# population).
+FEAS_FLAGS ?=
+bench-feas:
+	$(GO) run ./cmd/mcbench -exp feas $(FEAS_FLAGS)
+
 # Microbenchmarks for the §10 hot paths (match memoization, block
 # traversal, instance clone). -benchtime 100x keeps the target quick
 # enough for CI; drop the override for stable local numbers.
@@ -91,6 +101,6 @@ profile:
 	$(GO) run ./cmd/mcbench -cpuprofile pprof/mcbench.cpu -memprofile pprof/mcbench.mem -exp hotpath
 
 clean:
-	rm -f BENCH_parallel.json BENCH_incremental.json BENCH_governance.json BENCH_hotpath.json BENCH_multicheck.json BENCH_scale.json
+	rm -f BENCH_parallel.json BENCH_incremental.json BENCH_governance.json BENCH_hotpath.json BENCH_multicheck.json BENCH_scale.json BENCH_feas.json
 	rm -rf pprof
 	$(GO) clean ./...

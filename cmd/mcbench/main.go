@@ -61,6 +61,7 @@ var experiments = []struct {
 	{"gov", "governance overhead: Run() vs RunContext+budgets on the E11 workload (writes BENCH_governance.json)", expGov},
 	{"multicheck", "multi-checker dispatch: 5/50/200-checker suites, compiled dispatch on/off (writes BENCH_multicheck.json)", expMulticheck},
 	{"scale", "memory-bounded streaming: KLoC/min and peak RSS at 4 tree sizes, spill on/off (writes BENCH_scale.json)", expScale},
+	{"feas", "feasibility verdicts: infeasible-kill and false-kill rates, verdict latency on a seeded population (writes BENCH_feas.json)", expFeas},
 }
 
 // jobsFlag is the -j value; expPar adds it to its sweep, and 0 means
@@ -107,7 +108,7 @@ func main() {
 	}
 	if ran == 0 {
 		stopProf()
-		fmt.Fprintln(os.Stderr, "mcbench: no such experiment (ids: f1-f6, t1, t2, e1-e12, par, hotpath, incr, gov, multicheck, scale)")
+		fmt.Fprintln(os.Stderr, "mcbench: no such experiment (ids: f1-f6, t1, t2, e1-e12, par, hotpath, incr, gov, multicheck, scale, feas)")
 		os.Exit(2)
 	}
 }

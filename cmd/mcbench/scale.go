@@ -178,6 +178,11 @@ type scaleBench struct {
 	RSSRatioSpillOn  float64 `json:"rss_ratio_4x_spill_on,omitempty"`
 	RSSRatioSpillOff float64 `json:"rss_ratio_4x_spill_off,omitempty"`
 	RatioBound       float64 `json:"ratio_bound,omitempty"`
+	// WallRatioSpillOnJ1 is the spill-on-j1 wall-clock over the
+	// unbounded reference at the largest size — the streaming mode's
+	// slowdown factor. Reported, not asserted (timing noise); the
+	// packed spill log (internal/spill/log.go) is what keeps it near 1.
+	WallRatioSpillOnJ1 float64 `json:"wall_ratio_spill_on_j1,omitempty"`
 }
 
 func expScale() {
@@ -208,10 +213,12 @@ func expScale() {
 		{"spill-on-cached-j1", 1, true, true}, // cold incremental cache
 	}
 
-	// peak RSS of the -j 1 cells, per size, spill on and off, for the
-	// growth ratios.
+	// peak RSS and wall-clock of the -j 1 cells, per size, spill on
+	// and off, for the growth and slowdown ratios.
 	rssOn := map[int]int64{}
 	rssOff := map[int]int64{}
+	secOn := map[int]float64{}
+	secOff := map[int]float64{}
 
 	fmt.Println("files  mode                 seconds  kloc/min  peak-rss-mb  evictions  reloads  identical")
 	for _, n := range sizes {
@@ -224,9 +231,11 @@ func expScale() {
 			if m.name == "spill-off-j1" {
 				refDigest = r.Output
 				rssOff[n] = r.PeakRSSBytes
+				secOff[n] = r.Seconds
 			}
 			if m.name == "spill-on-j1" {
 				rssOn[n] = r.PeakRSSBytes
+				secOn[n] = r.Seconds
 			}
 			if m.spill && (r.Evictions == 0 || r.ASTsReleased == 0) {
 				die(fmt.Errorf("scale %d files %s: streaming mode did not engage (evictions=%d asts-released=%d)",
@@ -251,6 +260,13 @@ func expScale() {
 				die(fmt.Errorf("scale %d files: %s output differs from the in-memory reference — streaming changed results", n, m.name))
 			}
 		}
+	}
+
+	biggest := sizes[len(sizes)-1]
+	if secOff[biggest] > 0 {
+		bench.WallRatioSpillOnJ1 = secOn[biggest] / secOff[biggest]
+		fmt.Printf("wall-clock at %d files, -j 1: spill on is %.2fx the unbounded reference\n",
+			biggest, bench.WallRatioSpillOnJ1)
 	}
 
 	if !*scaleShortFlag {

@@ -22,11 +22,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"syscall"
 
 	"repro/internal/checkers"
+	"repro/internal/feas"
 	"repro/internal/profiling"
 	"repro/mc"
 )
@@ -41,6 +43,7 @@ func main() {
 		supergraph   = flag.String("supergraph", "", "print block/suffix summaries for the named function (Figure 5 style)")
 		twoPass      = flag.Bool("two-pass", false, "emit ASTs to temp files and reload them (the paper's pass 1/pass 2 pipeline)")
 		detailed     = flag.Bool("why", false, "print why-traces with each report")
+		verify       = flag.Bool("verify", false, "run the second-tier feasibility pass: replay each report's witness path and annotate it confirmed/infeasible/unknown (verdicts never add or remove reports or change exit codes)")
 		jsonOut      = flag.Bool("json", false, "emit reports as JSON lines")
 		intra        = flag.Bool("intra", false, "disable interprocedural analysis")
 		noFPP        = flag.Bool("no-fpp", false, "disable false path pruning")
@@ -204,6 +207,14 @@ func main() {
 	if res.Degraded {
 		fmt.Fprintf(os.Stderr, "xgcc: results degraded: %d traversal(s) truncated by budget\n", len(res.Degradations))
 	}
+	var feasStats feas.Stats
+	if *verify {
+		workers := *jobs
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		feasStats = a.Verify(res, workers)
+	}
 	if *baseline != "" {
 		if err := appendBaseline(*baseline, res.Reports); err != nil {
 			fatal(err)
@@ -260,6 +271,11 @@ func main() {
 			fmt.Printf("checker %s: points=%d blocks=%d paths=%d pruned=%d cache-hits=%d fn-cache-hits=%d\n",
 				n, s.Points, s.Blocks, s.Paths, s.PrunedPaths, s.CacheHits, s.FuncCacheHits)
 		}
+		if *verify {
+			fmt.Printf("feas: done=%d confirmed=%d infeasible=%d unknown=%d cache-hits=%d p50=%dus p95=%dus\n",
+				feasStats.Done, feasStats.Confirmed, feasStats.Infeasible, feasStats.Unknown,
+				feasStats.CacheHits, feasStats.P50Micros, feasStats.P95Micros)
+		}
 		if sp := res.Spill; sp != nil {
 			fmt.Printf("spill: evictions=%d reloads=%d puts=%d bytes=%d asts-released=%d\n",
 				sp.Evictions, sp.Reloads, sp.SpillPuts, sp.SpillBytes, sp.ASTsReleased)
@@ -296,6 +312,8 @@ type reportJSON struct {
 	SynonymDepth    int      `json:"synonym_depth,omitempty"`
 	Interprocedural bool     `json:"interprocedural,omitempty"`
 	Trace           []string `json:"trace,omitempty"`
+	Verdict         string   `json:"verdict,omitempty"`
+	VerdictWhy      string   `json:"verdict_why,omitempty"`
 }
 
 func jsonReport(r *mc.Report) reportJSON {
@@ -313,15 +331,24 @@ func jsonReport(r *mc.Report) reportJSON {
 		SynonymDepth:    r.SynonymDepth,
 		Interprocedural: r.Interprocedural,
 		Trace:           r.Trace,
+		Verdict:         r.Verdict,
+		VerdictWhy:      r.VerdictWhy,
 	}
 }
 
 func printReport(r *mc.Report, detailed bool) {
 	if detailed {
 		fmt.Print(r.Detailed())
-	} else {
-		fmt.Println(r)
+		if r.Verdict != "" {
+			fmt.Printf("    verdict: %s (%s)\n", r.Verdict, r.VerdictWhy)
+		}
+		return
 	}
+	if r.Verdict != "" {
+		fmt.Printf("%s [%s]\n", r, r.Verdict)
+		return
+	}
+	fmt.Println(r)
 }
 
 // baselineEntry is the persisted history record: exactly the §8

@@ -47,6 +47,8 @@ func main() {
 		funcTime    = flag.Duration("budget-func-time", 0, "per-root wall-clock budget (0 = unbounded)")
 		maxResident = flag.Int("max-resident-mb", 0, "soft memory budget in MiB: spill summaries to disk and release ASTs after unit retirement; output unchanged (0 = keep everything resident)")
 		spillDir    = flag.String("spill-dir", "", "directory for spilled summaries (default: per-run temp dir; requires -max-resident-mb)")
+		verify      = flag.Bool("verify", false, "run the asynchronous feasibility-verdict pipeline: analyze responses return immediately with verdict \"unverified\" and background workers annotate reports confirmed/infeasible/unknown (DESIGN.md §13)")
+		verifyJobs  = flag.Int("verify-workers", 1, "verdict worker pool size (requires -verify)")
 	)
 	var checkerFiles []string
 	flag.Func("checker-file", "load a metal checker from a file (repeatable)", func(path string) error {
@@ -76,6 +78,8 @@ func main() {
 		},
 		MaxResidentMB: *maxResident,
 		SpillDir:      *spillDir,
+		Verify:        *verify,
+		VerifyWorkers: *verifyJobs,
 	}
 	for _, name := range strings.Split(*checkerList, ",") {
 		if name = strings.TrimSpace(name); name != "" {

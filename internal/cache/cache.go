@@ -19,7 +19,7 @@ import (
 // FormatVersion is folded into every key; bump it when any serialized
 // form changes so old cache directories degrade to cold runs instead
 // of mis-deserializing.
-const FormatVersion = "xgcc-cache-v1"
+const FormatVersion = "xgcc-cache-v2" // v2: reports carry witness paths (report.PathStep)
 
 // Key derives a cache key: the hex SHA-256 of the format version and
 // the given parts, length-prefixed so part boundaries can't alias.

@@ -230,6 +230,9 @@ type Engine struct {
 	onRetire       func([]*prog.Function)
 	spilled        map[*prog.Function]bool
 	spillReloadAll bool
+	// sharedRetired joins same-checker sibling engines: any sibling's
+	// retirement widens this engine's reload gate (stream.go).
+	sharedRetired *RetiredSet
 }
 
 // NewEngine builds an engine for one checker over a program.
@@ -393,6 +396,9 @@ type pathState struct {
 	killPath  bool
 	pathClass report.Class
 	pending   []pendingBranch
+	// plog records the path's branch/assign/havoc events for the
+	// feasibility pass (pathlog.go); immutable, so clones share it.
+	plog *pathLog
 	// steps counts program points visited along this path, bulk-added
 	// at block entry, for the per-path budget (governance layer).
 	steps int64
@@ -406,6 +412,7 @@ func (st *pathState) cloneFor() *pathState {
 		callDepth: st.callDepth,
 		killPath:  st.killPath,
 		pathClass: st.pathClass,
+		plog:      st.plog,
 		steps:     st.steps,
 	}
 	if st.env != nil {
@@ -781,6 +788,7 @@ func (en *Engine) descend(st *pathState, b *cfg.Block) {
 					continue
 				}
 			}
+			ns.plog = ns.plog.push(pathEvent{kind: evBranch, pos: posOf(b.Cond), expr: b.Cond, taken: taken})
 			en.noteConditional(ns)
 			en.applyPending(ns, taken)
 			en.traverseBlock(ns, e.To)
@@ -808,6 +816,16 @@ func (en *Engine) descend(st *pathState, b *cfg.Block) {
 				if ns.env.Contradicted() {
 					en.Stats.PrunedPaths++
 					continue
+				}
+			}
+			switch e.Kind {
+			case cfg.EdgeCase:
+				if e.CaseConst {
+					ns.plog = ns.plog.push(pathEvent{kind: evCase, pos: posOf(b.Switch), expr: b.Switch, val: e.CaseVal})
+				}
+			case cfg.EdgeDefault:
+				for _, v := range caseVals {
+					ns.plog = ns.plog.push(pathEvent{kind: evNotCase, pos: posOf(b.Switch), expr: b.Switch, val: v})
 				}
 			}
 			en.noteConditional(ns)
@@ -1300,6 +1318,13 @@ func (en *Engine) handleAssign(st *pathState, rec *blockRec, asg *cc.AssignExpr,
 	if en.Opts.FPP && st.env != nil && asg.Op == cc.TokAssign {
 		st.env.Assign(asg.LHS, asg.RHS)
 	}
+	if asg.Op == cc.TokAssign {
+		// Only Ident targets are version-tracked (fpp.Assign ignores the
+		// rest), so only they matter to the replay.
+		if _, ok := asg.LHS.(*cc.Ident); ok {
+			st.plog = st.plog.push(pathEvent{kind: evAssign, pos: posOf(pt), expr: asg.LHS, rhs: asg.RHS})
+		}
+	}
 	if asg.Op != cc.TokAssign {
 		// Compound assignment redefines the LHS without copying state.
 		en.handleMutation(st, rec, asg.LHS)
@@ -1355,10 +1380,11 @@ func (en *Engine) handleAssign(st *pathState, rec *blockRec, asg *cc.AssignExpr,
 
 // handleMutation kills state invalidated by ++/--/compound updates.
 func (en *Engine) handleMutation(st *pathState, rec *blockRec, lval cc.Expr) {
-	if en.Opts.FPP && st.env != nil {
-		if id, ok := lval.(*cc.Ident); ok {
+	if id, ok := lval.(*cc.Ident); ok {
+		if en.Opts.FPP && st.env != nil {
 			st.env.Havoc(id.Name)
 		}
+		st.plog = st.plog.push(pathEvent{kind: evHavoc, pos: posOf(lval), expr: id})
 	}
 	if en.Opts.Kills {
 		en.killMentions(st, rec, lval, nil, nil)
@@ -1548,6 +1574,10 @@ func (en *Engine) emitReport(ctx *ActionCtx, msg string) {
 			r.Start = r.Pos
 		}
 	}
+	// Witness path for the feasibility pass, rendered while the ASTs
+	// are guaranteed live (emission happens mid-traversal, before any
+	// streaming-mode retirement).
+	r.Path = st.plog.render()
 	en.Reports.Add(r)
 }
 

@@ -130,12 +130,13 @@ func (en *Engine) followCall(st *pathState, b *cfg.Block, fi *funcInfo, bi *bloc
 	parts := en.partitionResults(refined, summary, entryBI, inTuples)
 
 	// FPP: values reachable by the callee through pointers may change.
-	if en.Opts.FPP && st.env != nil {
-		for _, a := range call.Args {
-			if u, ok := a.(*cc.UnaryExpr); ok && u.Op == cc.TokAmp {
-				if id, ok := u.X.(*cc.Ident); ok {
+	for _, a := range call.Args {
+		if u, ok := a.(*cc.UnaryExpr); ok && u.Op == cc.TokAmp {
+			if id, ok := u.X.(*cc.Ident); ok {
+				if en.Opts.FPP && st.env != nil {
 					st.env.Havoc(id.Name)
 				}
+				st.plog = st.plog.push(pathEvent{kind: evHavoc, pos: posOf(a), expr: id})
 			}
 		}
 	}

@@ -1,0 +1,91 @@
+// Package feas is the second-tier feasibility pass (DESIGN.md §13): a
+// bounded post-pass that replays each report's recorded witness path
+// (report.PathStep) through a fresh fpp environment, slices it to the
+// statements feeding the path's branch conditions, and layers an
+// interval domain over the union-find's versioned terms to issue a
+// verdict: confirmed (the sliced constraints are satisfiable in the
+// model), infeasible (they contradict), or unknown (something on the
+// path was outside the model, or the budget ran out).
+//
+// Verdicts only ever annotate reports — they never add or remove one —
+// and evaluation is a pure function of the report's content, so the
+// pass is deterministic at any worker count and its results can be
+// content-address cached (Pipeline).
+package feas
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+)
+
+// DefaultMaxSteps bounds the number of path events replayed per
+// verdict when the budget does not say otherwise.
+const DefaultMaxSteps = 4096
+
+// Budget bounds one verdict computation. The zero value means
+// defaults.
+type Budget struct {
+	// MaxSteps caps the path events replayed; longer paths get
+	// VerdictUnknown. 0 means DefaultMaxSteps.
+	MaxSteps int
+	// MaxIters caps interval bound-propagation sweeps. 0 derives the
+	// cap from the constraint count.
+	MaxIters int
+}
+
+func (b Budget) maxSteps() int {
+	if b.MaxSteps > 0 {
+		return b.MaxSteps
+	}
+	return DefaultMaxSteps
+}
+
+// Outcome is one verdict with its explanation and effort counters.
+type Outcome struct {
+	Verdict string `json:"verdict"`
+	Why     string `json:"why"`
+	// Steps is the number of recorded path events considered.
+	Steps int `json:"steps"`
+	// Sliced is how many of them the slicer weakened to havocs for
+	// not feeding any branch condition.
+	Sliced int `json:"sliced"`
+}
+
+// Evaluate issues a verdict for one report. It never mutates the
+// report. An infeasible first witness on a MultiPath report caps at
+// VerdictUnknown: other, unrecorded paths reach the same violation,
+// so killing it on this witness alone would be unsound.
+func Evaluate(r *report.Report, b Budget) Outcome {
+	out := evalPath(r.Path, b)
+	if out.Verdict == report.VerdictInfeasible && r.MultiPath {
+		out.Verdict = report.VerdictUnknown
+		out.Why = "recorded witness infeasible but violation reached along other paths: " + out.Why
+	}
+	return out
+}
+
+// evalPath runs slice + replay + interval check over a recorded path.
+func evalPath(steps []report.PathStep, b Budget) Outcome {
+	out := Outcome{Steps: len(steps)}
+	if len(steps) > b.maxSteps() {
+		out.Verdict = report.VerdictUnknown
+		out.Why = fmt.Sprintf("path exceeds verdict budget (%d steps > %d)", len(steps), b.maxSteps())
+		return out
+	}
+	rp := replay(steps, b)
+	out.Sliced = rp.sliced
+	switch {
+	case rp.contra:
+		out.Verdict = report.VerdictInfeasible
+		out.Why = rp.why
+	case rp.modeled:
+		out.Verdict = report.VerdictConfirmed
+		out.Why = fmt.Sprintf("witness constraints satisfiable (%d constraints over %d steps, %d sliced)",
+			rp.nconstraints, len(steps), rp.sliced)
+	default:
+		out.Verdict = report.VerdictUnknown
+		out.Why = rp.why
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package report
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// Old baselines and cache entries predate the verdict fields; they
+// must keep decoding, yielding a nil Path and empty verdict.
+func TestOldJSONWithoutVerdictFieldsParses(t *testing.T) {
+	old := `{"Checker":"free_checker","Msg":"use after free","Func":"f","Rule":"kfree","Vars":["p"]}`
+	var r Report
+	if err := json.Unmarshal([]byte(old), &r); err != nil {
+		t.Fatalf("old report JSON failed to parse: %v", err)
+	}
+	if r.Path != nil || r.Verdict != "" || r.VerdictWhy != "" || r.MultiPath {
+		t.Fatalf("old JSON decoded with verdict state set: %+v", r)
+	}
+	if r.Checker != "free_checker" || r.Msg != "use after free" {
+		t.Fatalf("old fields lost: %+v", r)
+	}
+}
+
+// New fields must survive a marshal/unmarshal cycle bit-for-bit (the
+// unit cache stores reports as JSON, and verdict cache keys hash the
+// re-decoded path).
+func TestVerdictFieldsRoundTrip(t *testing.T) {
+	r := &Report{
+		Checker: "free_checker",
+		Msg:     "use after free",
+		Path: []PathStep{
+			{Kind: "branch", Text: "n > 5", Taken: true},
+			{Kind: "assign", Text: "x", RHS: "n + 1"},
+			{Kind: "havoc", Text: "x"},
+			{Kind: "case", Text: "c", Val: 3},
+			{Kind: "notcase", Text: "c", Val: -7},
+		},
+		MultiPath:  true,
+		Verdict:    VerdictInfeasible,
+		VerdictWhy: "branch constraints leave n an empty range",
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, r) {
+		t.Fatalf("round trip changed the report:\n got %+v\nwant %+v", got, *r)
+	}
+}
+
+// A report without verdict state must serialize without the new keys,
+// so cache entries written before a verdict pass are byte-stable.
+func TestVerdictFieldsOmittedWhenEmpty(t *testing.T) {
+	data, err := json.Marshal(&Report{Checker: "c", Msg: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"path", "multi_path", "verdict", "verdict_why"} {
+		if containsKey(data, key) {
+			t.Errorf("empty report serialized %q: %s", key, data)
+		}
+	}
+}
+
+func containsKey(data []byte, key string) bool {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		return false
+	}
+	_, ok := m[key]
+	return ok
+}
+
+// Duplicate Adds mark the retained report MultiPath: its recorded
+// witness is no longer the only path, so an infeasible verdict on
+// that witness alone must not kill it.
+func TestSetAddMarksMultiPath(t *testing.T) {
+	var s Set
+	a := &Report{Checker: "c", Msg: "m", Func: "f", Rule: "r"}
+	dup := &Report{Checker: "c", Msg: "m", Func: "f", Rule: "r"}
+	other := &Report{Checker: "c", Msg: "other", Func: "f", Rule: "r"}
+	if !s.Add(a) || !s.Add(other) {
+		t.Fatal("first adds rejected")
+	}
+	if a.MultiPath {
+		t.Fatal("MultiPath set before any duplicate")
+	}
+	if s.Add(dup) {
+		t.Fatal("duplicate accepted")
+	}
+	if !a.MultiPath {
+		t.Fatal("duplicate did not mark the retained report MultiPath")
+	}
+	if other.MultiPath {
+		t.Fatal("unrelated report marked MultiPath")
+	}
+}

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/feas"
 	"repro/internal/report"
 	"repro/mc"
 )
@@ -70,6 +71,15 @@ type Config struct {
 	// SpillDir is where streaming mode spills summaries; empty means a
 	// per-run temp directory.
 	SpillDir string
+	// Verify enables the asynchronous feasibility-verdict pipeline
+	// (DESIGN.md §13): analyze responses return immediately with every
+	// report marked "unverified", and a bounded worker pool replays
+	// witness paths in the background, annotating reports as
+	// confirmed/infeasible/unknown. Verdicts never add or remove
+	// reports.
+	Verify bool
+	// VerifyWorkers bounds the verdict worker pool; 0 means 1.
+	VerifyWorkers int
 }
 
 // DefaultMaxInFlight is the admission bound when Config.MaxInFlight
@@ -111,6 +121,14 @@ type Server struct {
 	spillReloads   int64
 	spillBytes     int64
 	astsReleased   int64
+
+	// Feasibility pipeline (nil unless Config.Verify; DESIGN.md §13).
+	// verifyCur marks the reports of the current run: a new analysis
+	// supersedes queued items, whose verdicts are then counted stale
+	// and dropped instead of written into a replaced result.
+	feas        *feas.Pipeline
+	verifyCur   map[*report.Report]bool
+	verifyStale int64
 }
 
 // New builds a daemon from the configuration.
@@ -125,11 +143,49 @@ func New(cfg Config) *Server {
 	if store == nil {
 		store = cache.NewMemStore()
 	}
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		store: store,
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 		srcs:  map[string]string{},
+	}
+	if cfg.Verify {
+		var budget feas.Budget
+		if cfg.Budgets.PathSteps > 0 {
+			budget.MaxSteps = int(cfg.Budgets.PathSteps)
+		}
+		s.feas = feas.NewPipeline(feas.Config{
+			Workers: cfg.VerifyWorkers,
+			Budget:  budget,
+			Store:   store,
+			Sink: func(r *report.Report, o feas.Outcome) {
+				s.mu.Lock()
+				if s.verifyCur[r] {
+					r.Verdict = o.Verdict
+					r.VerdictWhy = o.Why
+				} else {
+					s.verifyStale++
+				}
+				s.mu.Unlock()
+			},
+		})
+	}
+	return s
+}
+
+// Close shuts the feasibility pipeline down (no-op without one). The
+// HTTP handler keeps working; new analyses simply stay unverified.
+func (s *Server) Close() {
+	if s.feas != nil {
+		s.feas.Close()
+	}
+}
+
+// DrainVerdicts blocks until every queued report has a verdict
+// (tests; no-op without a pipeline).
+func (s *Server) DrainVerdicts() {
+	if s.feas != nil {
+		s.feas.Drain()
 	}
 }
 
@@ -238,17 +294,24 @@ type ReportJSON struct {
 	Class   string `json:"class,omitempty"`
 	Msg     string `json:"msg"`
 	Text    string `json:"text"`
+	// Feasibility verdict (DESIGN.md §13): "unverified" while queued,
+	// then confirmed/infeasible/unknown; absent when the pipeline is
+	// disabled.
+	Verdict    string `json:"verdict,omitempty"`
+	VerdictWhy string `json:"verdict_why,omitempty"`
 }
 
 func reportJSON(r *report.Report) ReportJSON {
 	return ReportJSON{
-		Pos:     r.Pos.String(),
-		Checker: r.Checker,
-		Rule:    r.Rule,
-		Func:    r.Func,
-		Class:   string(r.Class),
-		Msg:     r.Msg,
-		Text:    r.String(),
+		Pos:        r.Pos.String(),
+		Checker:    r.Checker,
+		Rule:       r.Rule,
+		Func:       r.Func,
+		Class:      string(r.Class),
+		Msg:        r.Msg,
+		Text:       r.String(),
+		Verdict:    r.Verdict,
+		VerdictWhy: r.VerdictWhy,
 	}
 }
 
@@ -400,9 +463,22 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.srcs = next
 	s.last = res
 	s.lastIncr = res.Incr
+	if s.feas != nil {
+		// Supersede any still-queued verdicts from the previous run
+		// and mark this run's reports pending. Workers only write
+		// verdicts into reports in verifyCur, under this mutex.
+		s.verifyCur = make(map[*report.Report]bool, len(res.Reports))
+		for _, rep := range res.Reports {
+			rep.Verdict = report.VerdictUnverified
+			s.verifyCur[rep] = true
+		}
+	}
 	files := len(s.srcs)
 	s.mu.Unlock()
 
+	// Render before enqueueing: no worker touches these reports until
+	// Enqueue below, so the response snapshot (every report
+	// "unverified") needs no lock and returns immediately.
 	resp := AnalyzeResponse{
 		Files:        files,
 		Reports:      len(res.Reports),
@@ -415,6 +491,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, rep := range res.Ranked() {
 		resp.Ranked = append(resp.Ranked, reportJSON(rep))
+	}
+	if s.feas != nil {
+		for _, rep := range res.Reports {
+			s.feas.Enqueue(rep)
+		}
 	}
 	writeJSON(w, resp)
 }
@@ -432,10 +513,13 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 			"GET only", r.Method)
 		return
 	}
+	// Verdict workers mutate reports under mu, and the rank
+	// comparators read verdicts — hold the lock through ranking and
+	// rendering.
 	s.mu.Lock()
 	last := s.last
-	s.mu.Unlock()
 	if last == nil {
+		s.mu.Unlock()
 		writeError(w, http.StatusNotFound, "no_analysis",
 			"no analysis yet", "")
 		return
@@ -446,17 +530,33 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	} else {
 		ranked = last.Ranked()
 	}
-	if r.URL.Query().Get("format") == "text" {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		for _, rep := range ranked {
-			fmt.Fprintln(w, rep)
+	if v := r.URL.Query().Get("verdict"); v != "" {
+		switch v {
+		case report.VerdictUnverified, report.VerdictConfirmed,
+			report.VerdictInfeasible, report.VerdictUnknown:
+			ranked = mc.VerifiedOnly(ranked, v)
+		default:
+			s.mu.Unlock()
+			writeError(w, http.StatusBadRequest, "bad_request",
+				"unknown verdict filter", v)
+			return
 		}
+	}
+	if r.URL.Query().Get("format") == "text" {
+		var sb strings.Builder
+		for _, rep := range ranked {
+			fmt.Fprintln(&sb, rep)
+		}
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(sb.String()))
 		return
 	}
 	out := make([]ReportJSON, 0, len(ranked))
 	for _, rep := range ranked {
 		out = append(out, reportJSON(rep))
 	}
+	s.mu.Unlock()
 	writeJSON(w, out)
 }
 
@@ -482,6 +582,13 @@ type StatsResponse struct {
 	Reports  int                   `json:"reports"`
 	Incr     *mc.IncrStats         `json:"incr,omitempty"`
 	Checkers map[string]core.Stats `json:"checkers,omitempty"`
+
+	// Feasibility pipeline counters (nil unless Config.Verify;
+	// DESIGN.md §13): queue depth, outcomes, and verdict latency.
+	Feas *feas.Stats `json:"feas,omitempty"`
+	// FeasStale counts verdicts computed for runs that were already
+	// superseded when they finished.
+	FeasStale int64 `json:"feas_stale,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -513,6 +620,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.last != nil {
 		resp.Reports = len(s.last.Reports)
 		resp.Checkers = s.last.Stats
+	}
+	if s.feas != nil {
+		fs := s.feas.Stats()
+		resp.Feas = &fs
+		resp.FeasStale = s.verifyStale
 	}
 	writeJSON(w, resp)
 }
@@ -547,6 +659,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("xgccd_spill_reloads_total", s.spillReloads, "summaries demand-loaded back from the spill store")
 	counter("xgccd_spill_bytes_total", s.spillBytes, "bytes written to the spill store")
 	counter("xgccd_asts_released_total", s.astsReleased, "function bodies released after unit retirement")
+	if s.feas != nil {
+		fs := s.feas.Stats()
+		counter("xgccd_feas_enqueued_total", fs.Enqueued, "reports queued for feasibility verdicts")
+		counter("xgccd_feas_done_total", fs.Done, "feasibility verdicts issued")
+		counter("xgccd_feas_confirmed_total", fs.Confirmed, "reports whose witness path was confirmed feasible")
+		counter("xgccd_feas_infeasible_total", fs.Infeasible, "reports whose witness path was proven infeasible")
+		counter("xgccd_feas_unknown_total", fs.Unknown, "reports the feasibility pass could not decide")
+		counter("xgccd_feas_cache_hits_total", fs.CacheHits, "verdicts replayed from the content-addressed cache")
+		counter("xgccd_feas_stale_total", s.verifyStale, "verdicts dropped because a newer analysis superseded them")
+		gauge("xgccd_feas_queue_depth", float64(fs.Depth), "reports awaiting a feasibility verdict")
+		gauge("xgccd_feas_latency_p50_seconds", float64(fs.P50Micros)/1e6, "median verdict latency, enqueue to sink")
+		gauge("xgccd_feas_latency_p95_seconds", float64(fs.P95Micros)/1e6, "95th-percentile verdict latency")
+	}
 	gauge("xgccd_inflight", float64(s.inflight), "analyze requests currently admitted")
 	gauge("xgccd_resident_files", float64(len(s.srcs)), "sources in the resident tree")
 	if s.last != nil {

@@ -1,0 +1,121 @@
+package server
+
+// Tests for the asynchronous feasibility-verdict pipeline (DESIGN.md
+// §13): immediate "unverified" responses, background annotation,
+// /v1/reports verdict filtering, counters, and the invariant that the
+// pass never changes the report set.
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// feasSrc seeds one interval false positive (n>5 then n<3 survives
+// the tier-1 pruner) and two true positives.
+const feasSrc = `
+void kfree(void *p);
+int fp_interval(int n, int *p) {
+    if (n > 5) kfree(p);
+    if (n < 3) return *p;
+    return 0;
+}
+int tp_guarded(int n, int *p) {
+    if (n > 5) kfree(p);
+    if (n > 2) return *p;
+    return 0;
+}
+int tp_plain(int *p) {
+    kfree(p);
+    return *p;
+}
+`
+
+func TestVerifyPipeline(t *testing.T) {
+	srv := New(Config{Checkers: []string{"free"}, Verify: true, VerifyWorkers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp := postAnalyze(t, ts, AnalyzeRequest{Files: map[string]string{"drv.c": feasSrc}})
+	if resp.Reports != 3 {
+		t.Fatalf("reports = %d, want 3", resp.Reports)
+	}
+	// The analyze response returns before any verdict lands.
+	for _, r := range resp.Ranked {
+		if r.Verdict != "unverified" {
+			t.Errorf("analyze response verdict = %q, want unverified", r.Verdict)
+		}
+	}
+
+	srv.DrainVerdicts()
+
+	code, body := getBody(t, ts.URL+"/v1/reports")
+	if code != 200 {
+		t.Fatalf("reports: status %d", code)
+	}
+	for fn, want := range map[string]string{
+		"fp_interval": "infeasible",
+		"tp_guarded":  "confirmed",
+		"tp_plain":    "confirmed",
+	} {
+		if !strings.Contains(body, want) || !strings.Contains(body, fn) {
+			t.Errorf("reports body missing %s/%s:\n%s", fn, want, body)
+		}
+	}
+
+	// Verdict filtering.
+	for filter, want := range map[string]int{
+		"infeasible": 1,
+		"confirmed":  2,
+		"unknown":    0,
+		"unverified": 0,
+	} {
+		_, filtered := getBody(t, ts.URL+"/v1/reports?verdict="+filter)
+		if got := strings.Count(filtered, `"pos"`); got != want {
+			t.Errorf("?verdict=%s returned %d reports, want %d:\n%s", filter, got, want, filtered)
+		}
+	}
+	if code, _ := getBody(t, ts.URL+"/v1/reports?verdict=bogus"); code != 400 {
+		t.Errorf("bogus verdict filter: status %d, want 400", code)
+	}
+
+	// Counters surface on /v1/stats and /v1/metrics.
+	if _, stats := getBody(t, ts.URL+"/v1/stats"); !strings.Contains(stats, `"done": 3`) ||
+		!strings.Contains(stats, `"confirmed": 2`) || !strings.Contains(stats, `"infeasible": 1`) {
+		t.Errorf("stats missing feas counters:\n%s", stats)
+	}
+	if _, metrics := getBody(t, ts.URL+"/v1/metrics"); !strings.Contains(metrics, "xgccd_feas_done_total 3") ||
+		!strings.Contains(metrics, "xgccd_feas_infeasible_total 1") ||
+		!strings.Contains(metrics, "xgccd_feas_queue_depth 0") {
+		t.Errorf("metrics missing feas counters:\n%s", metrics)
+	}
+}
+
+// TestVerifyNeverChangesReportSet: the verdict pass annotates; the
+// report set (positions + messages) must be identical with the
+// pipeline on and off.
+func TestVerifyNeverChangesReportSet(t *testing.T) {
+	collect := func(verify bool) map[string]bool {
+		srv := New(Config{Checkers: []string{"free"}, Verify: verify, VerifyWorkers: 2})
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		resp := postAnalyze(t, ts, AnalyzeRequest{Files: map[string]string{"drv.c": feasSrc}})
+		srv.DrainVerdicts()
+		set := map[string]bool{}
+		for _, r := range resp.Ranked {
+			set[r.Pos+"|"+r.Msg] = true
+		}
+		return set
+	}
+	on, off := collect(true), collect(false)
+	if len(on) != len(off) {
+		t.Fatalf("report sets differ: %d with verify, %d without", len(on), len(off))
+	}
+	for k := range on {
+		if !off[k] {
+			t.Errorf("report %q only present with verify on", k)
+		}
+	}
+}

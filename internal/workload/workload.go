@@ -435,6 +435,57 @@ func MixedTree(files, funcsPerFile int, seed int64) (map[string]string, []Bug) {
 	return out, bugs
 }
 
+// FeasPopulation generates the feasibility-verdict benchmark
+// population (DESIGN.md §13): every function frees under one branch
+// and uses under another, in four shapes. Two are false positives
+// whose witness paths the second-tier pass can refute arithmetically
+// — disjoint intervals (n > hi then n < lo) and an equality pinned
+// outside an inequality's range (n >= hi then n == v, v < hi) — both
+// of which survive the tier-1 false-path pruner, which only relates
+// conditions that resolve to constants. The other two are seeded true
+// positives the pass must NOT kill: a plain straight-line
+// use-after-free and a guarded one whose two conditions overlap
+// (n > a then n > b, b < a). Bugs lists the true positives; reports
+// on any other function are false positives.
+func FeasPopulation(funcs int, seed int64) Program {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.WriteString(prologue)
+	var bugs []Bug
+	line := strings.Count(prologue, "\n") + 1
+	emit := func(s string) {
+		sb.WriteString(s)
+		line += strings.Count(s, "\n")
+	}
+	for i := 0; i < funcs; i++ {
+		switch i % 4 {
+		case 0: // interval FP: n > hi and n < lo are disjoint (lo <= hi)
+			hi := 5 + rng.Intn(8)
+			lo := 1 + rng.Intn(hi)
+			name := fmt.Sprintf("feas_fp_interval_%d", i)
+			emit(fmt.Sprintf("int %s(int *p, int n) {\n    if (n > %d)\n        kfree(p);\n    if (n < %d)\n        return *p;\n    return 0;\n}\n", name, hi, lo))
+		case 1: // incoming-edge FP: n >= hi pins n's class above the n == v point
+			hi := 10 + rng.Intn(8)
+			v := rng.Intn(hi)
+			name := fmt.Sprintf("feas_fp_edge_%d", i)
+			emit(fmt.Sprintf("int %s(int *p, int n) {\n    if (n >= %d)\n        kfree(p);\n    if (n == %d)\n        return *p;\n    return 0;\n}\n", name, hi, v))
+		case 2: // plain TP: straight-line use after free
+			name := fmt.Sprintf("feas_tp_plain_%d", i)
+			bugLine := line + 2
+			emit(fmt.Sprintf("int %s(int *p) {\n    kfree(p);\n    return *p;\n}\n", name))
+			bugs = append(bugs, Bug{Kind: "use-after-free", Func: name, Line: bugLine})
+		default: // guarded TP: n > a implies n > b (b < a) — feasible overlap
+			a := 3 + rng.Intn(8)
+			b := rng.Intn(a)
+			name := fmt.Sprintf("feas_tp_guard_%d", i)
+			bugLine := line + 4
+			emit(fmt.Sprintf("int %s(int *p, int n) {\n    if (n > %d)\n        kfree(p);\n    if (n > %d)\n        return *p;\n    return 0;\n}\n", name, a, b))
+			bugs = append(bugs, Bug{Kind: "use-after-free", Func: name, Line: bugLine})
+		}
+	}
+	return Program{Source: sb.String(), Bugs: bugs, Funcs: funcs}
+}
+
 // NextVersion simulates an edit cycle on a generated tree (§8
 // "History"): every file gains a header banner (shifting all line
 // numbers), function bodies gain harmless churn, and one brand-new

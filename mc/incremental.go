@@ -268,6 +268,7 @@ func (a *Analyzer) runCached(ctx context.Context) (*Result, error) {
 				if stream != nil {
 					en.SetSpill(stream.store, stream.keyFor(a.checkerFPs[t.ci]))
 					en.SetRetire(retire, stream.release.done)
+					en.ShareRetired(stream.retired[a.checkerFPs[t.ci]])
 				}
 				t.runs = en.RunRootsContext(ctx, t.roots)
 				t.eng = en

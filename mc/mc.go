@@ -306,6 +306,7 @@ func (a *Analyzer) RunContext(ctx context.Context) (*Result, error) {
 		if stream != nil {
 			engines[i].SetSpill(stream.store, stream.keyFor(a.checkerFPs[i]))
 			engines[i].SetRetire(retire, stream.release.done)
+			engines[i].ShareRetired(stream.retired[a.checkerFPs[i]])
 		}
 	}
 	// Multi-checker compiled dispatch (DESIGN.md §11): one automaton

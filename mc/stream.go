@@ -13,6 +13,7 @@ package mc
 
 import (
 	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/cache"
@@ -96,6 +97,12 @@ type streamState struct {
 	optsFP  string
 	envFP   string
 	funcKey map[*prog.Function]string
+	// retired holds one shared retired-set per checker fingerprint:
+	// same-checker sibling engines (the cached path runs one engine per
+	// unit) publish retirements to it and may reload each other's
+	// spilled summaries (core.RetiredSet documents why that preserves
+	// byte-identical output).
+	retired map[string]*core.RetiredSet
 	cleanup func()
 }
 
@@ -115,10 +122,19 @@ func (a *Analyzer) newStream(p *prog.Program, files []*cc.File, need int) (*stre
 		dir = tmp
 		cleanup = func() { os.RemoveAll(tmp) }
 	}
-	ds, err := cache.NewDirStore(dir)
+	// The store's backend is a single packed append-only log, not a
+	// file per summary: spilling happens once per (function, checker)
+	// and the per-put open/rename of a directory store dominated the
+	// spill-on wall-clock at scale (see internal/spill/log.go).
+	lg, err := spill.OpenLog(filepath.Join(dir, "summaries.log"))
 	if err != nil {
 		cleanup()
 		return nil, err
+	}
+	prevCleanup := cleanup
+	cleanup = func() {
+		lg.Close()
+		prevCleanup()
 	}
 	// A quarter of the budget fronts the store as a decoded-summary
 	// LRU; the floor keeps tiny budgets from thrashing single entries.
@@ -127,15 +143,19 @@ func (a *Analyzer) newStream(p *prog.Program, files []*cc.File, need int) (*stre
 		budget = 1 << 20
 	}
 	st := &streamState{
-		store:   spill.New(ds, budget),
+		store:   spill.New(lg, budget),
 		release: newASTReleaser(p.All, need),
 		optsFP:  optionsFingerprint(a.opts),
 		envFP:   cc.EnvHash(files),
 		funcKey: make(map[*prog.Function]string, len(p.All)),
+		retired: make(map[string]*core.RetiredSet, len(a.checkerFPs)),
 		cleanup: cleanup,
 	}
 	for _, fn := range p.All {
 		st.funcKey[fn] = prog.FuncID(fn) + "=" + cc.HashDecl(fn.Decl)
+	}
+	for _, fp := range a.checkerFPs {
+		st.retired[fp] = core.NewRetiredSet()
 	}
 	return st, nil
 }

@@ -60,6 +60,97 @@ func streamDigest(res *Result) string {
 	return fmt.Sprintf("%x", sha256.Sum256([]byte(sb.String())))
 }
 
+// reportSetDigest hashes the raw emission-order report stream,
+// deliberately ignoring the verdict fields and ranking: the
+// feasibility pass reorders Ranked() by design (confirmed first,
+// infeasible last) but must never add, remove, or reword a report.
+func reportSetDigest(res *Result) string {
+	var sb strings.Builder
+	for _, r := range res.Reports {
+		sb.WriteString(r.Detailed())
+	}
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(sb.String())))
+}
+
+// TestVerifyDeterminismMatrix extends the streaming matrix to the
+// feasibility pass (DESIGN.md §13): with the pass on or off, at any
+// parallelism, through no cache, a cold cache, or a warm cache (where
+// verdicts replay content-addressed), the report set must be
+// byte-identical and the verdict assignment itself must be identical
+// in every verify-on cell.
+func TestVerifyDeterminismMatrix(t *testing.T) {
+	pr := workload.FeasPopulation(24, 7)
+
+	run := func(jobs int, store cache.Store, verify bool) (*Result, map[string]string) {
+		t.Helper()
+		a := NewAnalyzer()
+		if err := a.Configure(RunConfig{Jobs: jobs, CacheStore: store}); err != nil {
+			t.Fatal(err)
+		}
+		a.AddSource("feas.c", pr.Source)
+		if err := a.LoadBundledChecker("free"); err != nil {
+			t.Fatal(err)
+		}
+		res, err := a.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var verdicts map[string]string
+		if verify {
+			a.Verify(res, jobs)
+			verdicts = map[string]string{}
+			for _, r := range res.Reports {
+				verdicts[r.Pos.String()+"|"+r.Msg] = r.Verdict
+			}
+		}
+		return res, verdicts
+	}
+
+	refRes, _ := run(1, nil, false)
+	ref := reportSetDigest(refRes)
+	if len(refRes.Reports) == 0 {
+		t.Fatal("reference run produced no reports; workload regressed")
+	}
+
+	var verdictRef map[string]string
+	for _, verify := range []bool{false, true} {
+		store := cache.NewMemStore()
+		cells := []struct {
+			name  string
+			jobs  int
+			store cache.Store
+		}{
+			{"nocache/-j1", 1, nil},
+			{"nocache/-j8", 8, nil},
+			{"cold/-j1", 1, store},
+			{"warm/-j1", 1, store},
+			{"warm/-j8", 8, store},
+		}
+		for _, c := range cells {
+			name := fmt.Sprintf("verify=%v/%s", verify, c.name)
+			res, verdicts := run(c.jobs, c.store, verify)
+			if got := reportSetDigest(res); got != ref {
+				t.Errorf("%s: report set differs from the verify-off reference", name)
+			}
+			if !verify {
+				continue
+			}
+			if verdictRef == nil {
+				verdictRef = verdicts
+				continue
+			}
+			if len(verdicts) != len(verdictRef) {
+				t.Fatalf("%s: %d verdicts, reference has %d", name, len(verdicts), len(verdictRef))
+			}
+			for k, v := range verdictRef {
+				if verdicts[k] != v {
+					t.Errorf("%s: verdict for %s = %q, reference %q", name, k, verdicts[k], v)
+				}
+			}
+		}
+	}
+}
+
 func TestStreamingDeterminismMatrix(t *testing.T) {
 	srcs, _ := workload.MixedTree(3, 12, 7)
 
