@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet staticcheck build test race bench-parallel bench-incr bench-gov bench-hotpath bench-multicheck bench-scale bench-feas bench-micro profile clean
+.PHONY: check fmt vet staticcheck build test race bench-parallel bench-incr bench-gov bench-hotpath bench-multicheck bench-scale bench-feas bench-registry bench-micro profile clean
 
 check: fmt vet staticcheck build race
 
@@ -17,9 +17,7 @@ vet:
 	$(GO) vet ./...
 
 # staticcheck is optional locally (the repo adds no dependencies) but
-# mandatory in CI, which installs it. Configured by staticcheck.conf:
-# SA1019 is off because tests deliberately pin the deprecated mc entry
-# points (migration contract).
+# mandatory in CI, which installs it. Configured by staticcheck.conf.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
@@ -49,8 +47,8 @@ bench-parallel:
 bench-incr:
 	$(GO) run ./cmd/mcbench -exp incr
 
-# Governance-overhead series (DESIGN.md §9): legacy Run() vs governed
-# RunContext+budgets on the E11 workload; dies above 5% overhead or on
+# Governance-overhead series (DESIGN.md §9): plain vs budgeted
+# RunContext on the E11 workload; dies above 5% overhead or on
 # any output difference. Writes BENCH_governance.json.
 bench-gov:
 	$(GO) run ./cmd/mcbench -exp gov
@@ -87,6 +85,15 @@ FEAS_FLAGS ?=
 bench-feas:
 	$(GO) run ./cmd/mcbench -exp feas $(FEAS_FLAGS)
 
+# Checker-platform series (DESIGN.md §14): hot-reload latency (first
+# analyze after an enable vs steady-state warm analyze) and admission
+# throughput through /v1/checkers upload→validate→verdict; dies if an
+# enabled checker is not live on the next analyze, if any clean
+# candidate is rejected, or if the hostile candidate is admitted.
+# Writes BENCH_registry.json.
+bench-registry:
+	$(GO) run ./cmd/mcbench -exp registry
+
 # Microbenchmarks for the §10 hot paths (match memoization, block
 # traversal, instance clone). -benchtime 100x keeps the target quick
 # enough for CI; drop the override for stable local numbers.
@@ -101,6 +108,6 @@ profile:
 	$(GO) run ./cmd/mcbench -cpuprofile pprof/mcbench.cpu -memprofile pprof/mcbench.mem -exp hotpath
 
 clean:
-	rm -f BENCH_parallel.json BENCH_incremental.json BENCH_governance.json BENCH_hotpath.json BENCH_multicheck.json BENCH_scale.json BENCH_feas.json
+	rm -f BENCH_parallel.json BENCH_incremental.json BENCH_governance.json BENCH_hotpath.json BENCH_multicheck.json BENCH_scale.json BENCH_feas.json BENCH_registry.json
 	rm -rf pprof
 	$(GO) clean ./...

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -67,7 +68,7 @@ func feasAnalyze(pr workload.Program, store cache.Store) *mc.Result {
 	if err := a.LoadBundledChecker("free"); err != nil {
 		die(err)
 	}
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		die(err)
 	}
@@ -95,7 +96,7 @@ func expFeas() {
 	if err := a.LoadBundledChecker("free"); err != nil {
 		die(err)
 	}
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		die(err)
 	}

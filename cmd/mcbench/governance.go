@@ -17,10 +17,10 @@ import (
 )
 
 // expGov measures the governance tentpole's overhead: the same E11
-// workload run through the legacy Run() path versus RunContext with a
-// cancellable context plus generous (never-tripping) budgets — the
-// configuration every governed caller pays for even when nothing is
-// cut. The acceptance bound is <=5% overhead, and both paths must
+// workload run through a plain background-context RunContext versus
+// RunContext with a cancellable context plus generous (never-tripping)
+// budgets — the configuration every governed caller pays for even when
+// nothing is cut. The acceptance bound is <=5% overhead, and both paths must
 // produce byte-identical ranked output (governance that never fires
 // must be invisible). The series lands in BENCH_governance.json.
 
@@ -70,7 +70,7 @@ func govAnalyze(srcs map[string]string, governed bool) (time.Duration, string) {
 		defer cancel()
 		res, err = a.RunContext(ctx)
 	} else {
-		res, err = a.Run()
+		res, err = a.RunContext(context.Background())
 	}
 	elapsed := time.Since(start)
 	if err != nil {

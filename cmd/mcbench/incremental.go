@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
@@ -60,8 +61,9 @@ func incrAnalyze(srcs map[string]string, store cache.Store) (*mc.Result, string,
 	// the dispatch has its own ablation (bench-multicheck).
 	opts := mc.DefaultOptions()
 	opts.MultiDispatch = false
-	a.SetOptions(opts)
-	a.SetParallelism(jobsFlag)
+	if err := a.Configure(mc.RunConfig{Options: &opts, Jobs: jobsFlag, CacheStore: store}); err != nil {
+		die(err)
+	}
 	for name, src := range srcs {
 		a.AddSource(name, src)
 	}
@@ -70,11 +72,8 @@ func incrAnalyze(srcs map[string]string, store cache.Store) (*mc.Result, string,
 			die(err)
 		}
 	}
-	if store != nil {
-		a.SetCacheStore(store)
-	}
 	start := time.Now()
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	elapsed := time.Since(start).Seconds()
 	if err != nil {
 		die(err)

@@ -58,10 +58,11 @@ var experiments = []struct {
 	{"par", "engine parallelism: wall-clock vs -j on the E11 workload (writes BENCH_parallel.json)", expPar},
 	{"hotpath", "hot-path ablation: memoized matching + block pre-filters vs unoptimized engine (writes BENCH_hotpath.json)", expHotpath},
 	{"incr", "incremental replay: warm-vs-cold live analyses per edit on the E11 workload (writes BENCH_incremental.json)", expIncr},
-	{"gov", "governance overhead: Run() vs RunContext+budgets on the E11 workload (writes BENCH_governance.json)", expGov},
+	{"gov", "governance overhead: plain vs budgeted RunContext on the E11 workload (writes BENCH_governance.json)", expGov},
 	{"multicheck", "multi-checker dispatch: 5/50/200-checker suites, compiled dispatch on/off (writes BENCH_multicheck.json)", expMulticheck},
 	{"scale", "memory-bounded streaming: KLoC/min and peak RSS at 4 tree sizes, spill on/off (writes BENCH_scale.json)", expScale},
 	{"feas", "feasibility verdicts: infeasible-kill and false-kill rates, verdict latency on a seeded population (writes BENCH_feas.json)", expFeas},
+	{"registry", "checker platform: hot-reload latency and admission throughput over /v1/checkers (writes BENCH_registry.json)", expRegistry},
 }
 
 // jobsFlag is the -j value; expPar adds it to its sweep, and 0 means

@@ -14,6 +14,7 @@ package main
 // series lands in BENCH_multicheck.json so CI can track it.
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
@@ -108,8 +109,9 @@ func multiAnalyze(srcs map[string]string, checkerSrcs []string, jobs int, dispat
 	a := mc.NewAnalyzer()
 	opts := mc.DefaultOptions()
 	opts.MultiDispatch = dispatch
-	a.SetOptions(opts)
-	a.SetParallelism(jobs)
+	if err := a.Configure(mc.RunConfig{Options: &opts, Jobs: jobs}); err != nil {
+		die(err)
+	}
 	for name, src := range srcs {
 		a.AddSource(name, src)
 	}
@@ -120,7 +122,7 @@ func multiAnalyze(srcs map[string]string, checkerSrcs []string, jobs int, dispat
 	}
 	a.MarkFunction("net_wait", "blocking")
 	start := time.Now()
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	elapsed := time.Since(start)
 	if err != nil {
 		die(err)

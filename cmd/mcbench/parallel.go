@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
@@ -50,9 +51,8 @@ type parBench struct {
 // (what a user would diff).
 func suiteAnalyze(srcs map[string]string, jobs int, opts *mc.Options) (time.Duration, uint64, string) {
 	a := mc.NewAnalyzer()
-	a.SetParallelism(jobs)
-	if opts != nil {
-		a.SetOptions(*opts)
+	if err := a.Configure(mc.RunConfig{Jobs: jobs, Options: opts}); err != nil {
+		die(err)
 	}
 	for name, src := range srcs {
 		a.AddSource(name, src)
@@ -66,7 +66,7 @@ func suiteAnalyze(srcs map[string]string, jobs int, opts *mc.Options) (time.Dura
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 	if err != nil {

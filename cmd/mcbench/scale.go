@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"flag"
@@ -96,7 +97,7 @@ func runScaleCell(spec string) {
 	a.MarkFunction("net_wait", "blocking")
 
 	start := time.Now()
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	elapsed := time.Since(start)
 	if err != nil {
 		die(err)

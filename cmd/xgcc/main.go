@@ -6,11 +6,19 @@
 //
 //	xgcc -checker free,lock file1.c file2.c
 //	xgcc -checker-file my_checker.metal -rank z file.c
+//	xgcc -checker-file my_checker.metal -validate
 //	xgcc -list
 //
-// Exit codes: 0 clean, 1 findings (with -exit-code), 2 usage or
-// analysis error, 3 cancelled or timed out (-timeout, SIGINT,
-// SIGTERM).
+// -validate runs the admission harness (DESIGN.md §14) instead of an
+// analysis: the checker executes against a seeded true/false-positive
+// corpus under panic, budget, and time isolation, and the structured
+// verdict decides the exit code — the same gate xgccd applies before
+// an uploaded checker can be enabled.
+//
+// Exit codes: 0 clean (or checker admitted with -validate), 1
+// findings with -exit-code (or checker rejected with -validate), 2
+// usage or analysis error, 3 cancelled or timed out (-timeout,
+// SIGINT, SIGTERM).
 package main
 
 import (
@@ -27,8 +35,11 @@ import (
 	"strings"
 	"syscall"
 
+	"time"
+
 	"repro/internal/checkers"
 	"repro/internal/feas"
+	"repro/internal/harness"
 	"repro/internal/profiling"
 	"repro/mc"
 )
@@ -44,6 +55,7 @@ func main() {
 		twoPass      = flag.Bool("two-pass", false, "emit ASTs to temp files and reload them (the paper's pass 1/pass 2 pipeline)")
 		detailed     = flag.Bool("why", false, "print why-traces with each report")
 		verify       = flag.Bool("verify", false, "run the second-tier feasibility pass: replay each report's witness path and annotate it confirmed/infeasible/unknown (verdicts never add or remove reports or change exit codes)")
+		validate     = flag.Bool("validate", false, "run the admission harness on the checker instead of analyzing files: exit 0 admitted, 1 rejected, 2 error (combine with -checker-file or -checker; -json for the raw verdict)")
 		jsonOut      = flag.Bool("json", false, "emit reports as JSON lines")
 		intra        = flag.Bool("intra", false, "disable interprocedural analysis")
 		noFPP        = flag.Bool("no-fpp", false, "disable false path pruning")
@@ -72,6 +84,14 @@ func main() {
 		for _, s := range checkers.All() {
 			fmt.Printf("%-14s %s\n", s.Name, s.Doc)
 		}
+		return
+	}
+	if *validate {
+		runValidate(*checkerFile, *checkerNames, *jobs, *timeout, mc.Budgets{
+			PathSteps:  *pathSteps,
+			FuncBlocks: *funcBlocks,
+			FuncTime:   *funcTime,
+		}, *jsonOut)
 		return
 	}
 	if flag.NArg() == 0 {
@@ -296,6 +316,87 @@ func main() {
 // stopProf flushes any active profiles; fatal and the explicit os.Exit
 // sites call it because os.Exit skips deferred functions.
 var stopProf = func() {}
+
+// runValidate is the -validate mode: the admission harness instead of
+// an analysis. The checker comes from -checker-file when given,
+// otherwise from the (single) -checker name; budget flags override the
+// harness defaults so a stricter local gate is one flag away.
+func runValidate(checkerFile, checkerNames string, jobs int, timeout time.Duration, budgets mc.Budgets, jsonOut bool) {
+	var src string
+	if checkerFile != "" {
+		data, err := os.ReadFile(checkerFile)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	} else {
+		names := strings.Split(checkerNames, ",")
+		if len(names) != 1 || strings.TrimSpace(names[0]) == "" {
+			fatal(errors.New("-validate takes one checker: -checker-file path, or a single -checker name"))
+		}
+		found := false
+		for _, s := range checkers.All() {
+			if s.Name == strings.TrimSpace(names[0]) {
+				src, found = s.Text, true
+				break
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("no bundled checker %q (try -list)", names[0]))
+		}
+	}
+
+	cfg := harness.DefaultConfig()
+	cfg.Jobs = jobs
+	if timeout > 0 {
+		cfg.Timeout = timeout
+	}
+	if budgets.PathSteps > 0 {
+		cfg.Budgets.PathSteps = budgets.PathSteps
+	}
+	if budgets.FuncBlocks > 0 {
+		cfg.Budgets.FuncBlocks = budgets.FuncBlocks
+	}
+	if budgets.FuncTime > 0 {
+		cfg.Budgets.FuncTime = budgets.FuncTime
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	v, err := harness.Validate(ctx, src, cfg)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "xgcc: validation cancelled:", err)
+			stopProf()
+			os.Exit(3)
+		}
+		fatal(err)
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("checker %s: %s\n", v.Checker, v.Status)
+		fmt.Printf("  reports=%d true-positives=%d false-positives=%d seeded-bugs=%d\n",
+			v.Reports, v.TruePositives, v.FalsePositives, v.SeededBugs)
+		fmt.Printf("  kill-rate=%.2f z=%.2f degradations=%d elapsed=%dms\n",
+			v.KillRate, v.Z, v.Degradations, v.ElapsedMS)
+		if v.Panicked {
+			fmt.Printf("  panicked: %s\n", v.PanicValue)
+		}
+		for _, r := range v.Reasons {
+			fmt.Printf("  rejected: %s\n", r)
+		}
+	}
+	if !v.Admitted() {
+		stopProf()
+		os.Exit(1)
+	}
+}
 
 // reportJSON is the machine-readable report shape.
 type reportJSON struct {

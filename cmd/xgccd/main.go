@@ -5,14 +5,19 @@
 //
 // A typical session:
 //
-//	xgccd -addr :8745 -checkers free,lock,null &
+//	xgccd -addr :8745 -checkers free,lock,null -registry /var/lib/xgccd &
 //	curl -s -X POST localhost:8745/v1/analyze \
 //	    -d '{"files": {"drv.c": "void kfree(void *p); int f(int *p) { kfree(p); return *p; }"}}'
 //	curl -s localhost:8745/v1/reports?format=text
 //	curl -s localhost:8745/v1/metrics
 //
+// Checkers can also be uploaded at runtime through the /v1/checkers
+// admission pipeline (upload, validate, enable; DESIGN.md §14) — an
+// enabled checker is live on the tenant's next analyze without a
+// restart, and with -registry the uploaded set survives restarts.
+//
 // The HTTP surface is versioned under /v1/; unversioned paths remain
-// as aliases. Governance flags bound the daemon's resource use:
+// as aliases and answer with a Deprecation header. Governance flags bound the daemon's resource use:
 // -max-inflight sheds excess analyze requests with 429,
 // -request-timeout cancels overlong runs with 503, and the budget
 // flags truncate runaway traversals (DESIGN.md §9).
@@ -28,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/registry"
 	"repro/internal/server"
 	"repro/mc"
 )
@@ -37,6 +43,7 @@ func main() {
 		addr        = flag.String("addr", "127.0.0.1:8745", "listen address")
 		checkerList = flag.String("checkers", "free,lock,null", "comma-separated bundled checkers")
 		cacheDir    = flag.String("cache", "", "persist the analysis cache in this directory (default: in-memory)")
+		registryDir = flag.String("registry", "", "persist uploaded checkers in this directory so /v1/checkers state survives restarts (default: in-memory)")
 		jobs        = flag.Int("j", 0, "analysis parallelism (0 = GOMAXPROCS)")
 		noFPP       = flag.Bool("no-fpp", false, "disable false path pruning")
 		noInter     = flag.Bool("no-inter", false, "disable interprocedural analysis")
@@ -99,6 +106,13 @@ func main() {
 			log.Fatalf("xgccd: open cache: %v", err)
 		}
 		cfg.Store = ds
+	}
+	if *registryDir != "" {
+		reg, err := registry.Open(*registryDir)
+		if err != nil {
+			log.Fatalf("xgccd: open registry: %v", err)
+		}
+		cfg.Registry = reg
 	}
 
 	srv := server.New(cfg)

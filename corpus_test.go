@@ -6,6 +6,7 @@ package repro
 // early-exit idioms) and pin the exact findings of the checker suite.
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -39,7 +40,7 @@ func TestCorpusFindings(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestCorpusCleanModuleSilent(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestCorpusTwoPassIdentical(t *testing.T) {
 	// files.
 	direct := loadCorpus(t)
 	direct.LoadBundledChecker("free")
-	resDirect, err := direct.Run()
+	resDirect, err := direct.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestCorpusTwoPassIdentical(t *testing.T) {
 		twoPass.AddAST(f)
 	}
 	twoPass.LoadBundledChecker("free")
-	resTP, err := twoPass.Run()
+	resTP, err := twoPass.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestCorpusSecurityFindings(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

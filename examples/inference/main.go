@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -28,7 +29,7 @@ func main() {
 	if err := a.LoadBundledChecker("free"); err != nil {
 		log.Fatal(err)
 	}
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -30,7 +31,7 @@ func main() {
 		}
 	}
 
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func main() {
 		}
 	}
 	b.SetHistory(res.Reports)
-	res2, err := b.Run()
+	res2, err := b.RunContext(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -93,7 +94,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

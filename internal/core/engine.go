@@ -115,6 +115,10 @@ type Stats struct {
 	FuncCacheHits int64
 	FuncFollows   int64
 	RecursionCuts int64
+	// InstanceOps sums the live-instance count over visited program
+	// points — the per-point matching work block counts cannot see
+	// (Budgets.InstanceOps bounds it per root).
+	InstanceOps int64
 	// HitBlockLimit reports that MaxBlocks stopped the traversal (the
 	// cache-off ablation safety valve fired).
 	HitBlockLimit bool
@@ -195,6 +199,7 @@ type Engine struct {
 	cancelled    bool
 	rootHalted   bool
 	rootBlocks   int64
+	rootInstOps  int64
 	rootDeadline time.Time
 	ctxPoll      int
 	curRoot      string
@@ -991,6 +996,10 @@ func (en *Engine) matchTrans(fi *funcInfo, ctx *pattern.Ctx, tr *metal.Transitio
 // set it is the synthetic-return-point flavor: statement patterns
 // like "{ return v }" match there (§4).
 func (en *Engine) applyExtension(st *pathState, fi *funcInfo, bi *blockInfo, b *cfg.Block, rec *blockRec, disp *pointDispatch, pt cc.Expr, returnPoint bool) bool {
+	if n := int64(len(st.sm.Active)); n > 0 {
+		en.Stats.InstanceOps += n
+		en.rootInstOps += n
+	}
 	matched := false
 	filter := en.Opts.BlockFilter
 	if !en.Opts.LeanAlloc {

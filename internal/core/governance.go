@@ -36,6 +36,14 @@ type Budgets struct {
 	// amortized poll as context cancellation, so enforcement lags by
 	// up to ctxPollInterval blocks.
 	FuncTime time.Duration
+	// InstanceOps caps instance-match operations per root analysis —
+	// the live-instance count summed over visited program points. This
+	// is the cost dimension block and step budgets cannot see: a
+	// checker that tracks an instance per expression keeps block
+	// counts flat (instances walk together, §5.2 independence) while
+	// per-point work goes quadratic. Checked at block entry like
+	// FuncBlocks.
+	InstanceOps int64
 }
 
 // Active reports whether any budget is set.
@@ -51,6 +59,8 @@ const (
 	DegradeFuncBlocks DegradeKind = "func-blocks"
 	// DegradeFuncTime: a root analysis hit Budgets.FuncTime.
 	DegradeFuncTime DegradeKind = "func-time"
+	// DegradeInstanceOps: a root analysis hit Budgets.InstanceOps.
+	DegradeInstanceOps DegradeKind = "instance-ops"
 	// DegradeCancelled: the run's context was cancelled or its
 	// deadline expired mid-traversal.
 	DegradeCancelled DegradeKind = "cancelled"
@@ -116,6 +126,7 @@ func (en *Engine) beginRoot(root *prog.Function) {
 	en.curRoot = root.Name
 	en.rootHalted = false
 	en.rootBlocks = 0
+	en.rootInstOps = 0
 	en.ctxPoll = 0 // poll promptly after a root starts
 	if d := en.Opts.Budgets.FuncTime; d > 0 {
 		en.rootDeadline = time.Now().Add(d)
@@ -165,6 +176,12 @@ func (en *Engine) overBudget(st *pathState, b *cfg.Block) bool {
 		en.rootHalted = true
 		en.noteDegrade(DegradeFuncBlocks, en.curRoot,
 			fmt.Sprintf("exceeded %d block traversals", bg.FuncBlocks))
+		return true
+	}
+	if bg.InstanceOps > 0 && en.rootInstOps >= bg.InstanceOps {
+		en.rootHalted = true
+		en.noteDegrade(DegradeInstanceOps, en.curRoot,
+			fmt.Sprintf("exceeded %d instance-match operations", bg.InstanceOps))
 		return true
 	}
 	if bg.PathSteps > 0 {

@@ -194,6 +194,86 @@ func TestPathStepsBudgetTruncatesPath(t *testing.T) {
 	}
 }
 
+// instanceHogChecker tracks an instance per expression. Under default
+// options instances walk the CFG together (§5.2 independence), so
+// block and step counts stay flat while per-point matching work grows
+// quadratically — the cost profile only the instance-ops budget sees.
+const instanceHogChecker = `
+sm insthog;
+state decl any_expr e;
+
+start:
+    { e } ==> e.seen
+;
+
+e.seen:
+    { e } ==> e.seen
+;
+`
+
+// instanceHogSrc is branchy straight-line arithmetic: many blocks (so
+// the per-block budget check runs) and many expressions (so the hog
+// accumulates instances), but a trivial workload for any reasonable
+// checker.
+func instanceHogSrc() string {
+	var sb strings.Builder
+	sb.WriteString("int work(int n) {\n")
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&sb, "    if (n > %d) { n = n + %d; } else { n = n - %d; }\n", i, i+1, i+1)
+	}
+	sb.WriteString("    return n;\n}\n")
+	return sb.String()
+}
+
+func runInstanceHog(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	p := buildProg(t, map[string]string{"work.c": instanceHogSrc()})
+	c, err := parseChecker(instanceHogChecker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := NewEngine(p, c, opts)
+	en.RunContext(context.Background())
+	return en
+}
+
+func TestInstanceOpsBudgetHaltsRoot(t *testing.T) {
+	full := runInstanceHog(t, DefaultOptions())
+	if full.Degraded() {
+		t.Fatalf("unbudgeted hog degraded: %v", full.Degradations)
+	}
+	if full.Stats.InstanceOps < 1000 {
+		t.Fatalf("hog checker did only %d instance ops; workload too small to test the budget", full.Stats.InstanceOps)
+	}
+	opts := DefaultOptions()
+	opts.Budgets.InstanceOps = 100
+	en := runInstanceHog(t, opts)
+	if !en.Degraded() || !hasKind(en, DegradeInstanceOps) {
+		t.Fatalf("tight InstanceOps budget did not degrade: %v", en.Degradations)
+	}
+	// Enforcement is per block entry, so the halt overshoots by at
+	// most one block's worth of points — not by orders of magnitude.
+	if en.Stats.InstanceOps >= full.Stats.InstanceOps/2 {
+		t.Errorf("budget of 100 allowed %d instance ops (unbudgeted: %d)",
+			en.Stats.InstanceOps, full.Stats.InstanceOps)
+	}
+}
+
+func TestInstanceOpsBudgetLeavesNormalCheckersAlone(t *testing.T) {
+	// A single-instance checker under the harness-sized budget: the
+	// instance stays live across the whole chain, so ops accrue, but
+	// nowhere near the cap.
+	opts := DefaultOptions()
+	opts.Budgets.InstanceOps = 10_000
+	en := runDiamond(t, 8, opts, context.Background())
+	if hasKind(en, DegradeInstanceOps) {
+		t.Fatalf("one-instance checker tripped the instance-ops budget: %v", en.Degradations)
+	}
+	if en.Stats.InstanceOps == 0 {
+		t.Error("instance ops not counted for a live instance")
+	}
+}
+
 func TestPathStepsBudgetDeterministic(t *testing.T) {
 	render := func() string {
 		opts := explosionOpts()

@@ -1,0 +1,251 @@
+package server
+
+// /v1/checkers handlers: the daemon face of the checker admission
+// pipeline (DESIGN.md §14). Upload → validate → enable is the whole
+// lifecycle of a machine-written checker; the analyze path reads the
+// registry per run, so an enable here is live on the next request.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/registry"
+)
+
+// CheckerJSON renders one registry entry. Enabled reflects the
+// requesting tenant.
+type CheckerJSON struct {
+	ID      string          `json:"id"`
+	Name    string          `json:"name"`
+	Version int             `json:"version"`
+	Lines   int             `json:"lines"`
+	Status  string          `json:"status"`
+	Enabled bool            `json:"enabled"`
+	Verdict json.RawMessage `json:"verdict,omitempty"`
+	Source  string          `json:"source,omitempty"`
+}
+
+func checkerJSON(e *registry.Entry, enabledIDs map[string]bool) CheckerJSON {
+	return CheckerJSON{
+		ID:      e.ID,
+		Name:    e.Name,
+		Version: e.Version,
+		Lines:   e.Lines,
+		Status:  e.Status,
+		Enabled: enabledIDs[e.ID],
+		Verdict: e.Verdict,
+	}
+}
+
+func (s *Server) enabledSet(tenant string) map[string]bool {
+	set := map[string]bool{}
+	for _, id := range s.cfg.Registry.EnabledIDs(tenant) {
+		set[id] = true
+	}
+	return set
+}
+
+// UploadRequest is the POST /v1/checkers body.
+type UploadRequest struct {
+	Source string `json:"source"`
+}
+
+// handleCheckerUpload stores a checker version. 201 on a new version,
+// 200 when this exact text was already stored (uploads are idempotent
+// by content address), 400 when the source does not parse as metal.
+func (s *Server) handleCheckerUpload(w http.ResponseWriter, r *http.Request) {
+	s.countRequest()
+	var req UploadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.bumpFailures()
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"malformed JSON body", err.Error())
+		return
+	}
+	if req.Source == "" {
+		s.bumpFailures()
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"empty checker source", `body must be {"source": "sm ...;"}`)
+		return
+	}
+	e, created, err := s.cfg.Registry.Upload(req.Source)
+	if err != nil {
+		s.bumpFailures()
+		writeError(w, http.StatusBadRequest, "checker_invalid",
+			"checker rejected at upload", err.Error())
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	writeJSONBody(w, checkerJSON(e, s.enabledSet(tenantOf(r))))
+}
+
+func (s *Server) handleCheckerList(w http.ResponseWriter, r *http.Request) {
+	s.countRequest()
+	enabled := s.enabledSet(tenantOf(r))
+	out := []CheckerJSON{}
+	for _, e := range s.cfg.Registry.List() {
+		out = append(out, checkerJSON(e, enabled))
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleCheckerGet(w http.ResponseWriter, r *http.Request) {
+	s.countRequest()
+	id := r.PathValue("id")
+	e, ok := s.cfg.Registry.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no such checker", id)
+		return
+	}
+	out := checkerJSON(e, s.enabledSet(tenantOf(r)))
+	if src, err := s.cfg.Registry.Source(id); err == nil {
+		out.Source = src
+	}
+	writeJSON(w, out)
+}
+
+// handleCheckerValidate runs the admission harness on a stored
+// checker. Validation is real analysis work, so it sits behind the
+// same admission semaphore as analyze (429 + Retry-After when
+// saturated). The harness outcome — admitted or rejected, with
+// z-score, kill-rate, and isolation counts — is stored on the entry
+// and returned; a buggy checker is a structured rejection, never a
+// daemon outage.
+func (s *Server) handleCheckerValidate(w http.ResponseWriter, r *http.Request) {
+	s.countRequest()
+	id := r.PathValue("id")
+	if _, ok := s.cfg.Registry.Get(id); !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no such checker", id)
+		return
+	}
+	src, err := s.cfg.Registry.Source(id)
+	if err != nil {
+		s.bumpFailures()
+		writeError(w, http.StatusInternalServerError, "internal",
+			"checker source unreadable", err.Error())
+		return
+	}
+
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.mu.Lock()
+		s.rejected++
+		inflight := s.inflight
+		s.mu.Unlock()
+		w.Header().Set("Retry-After",
+			strconv.Itoa(retryAfterSeconds(s.cfg.RequestTimeout, inflight)))
+		writeError(w, http.StatusTooManyRequests, "overloaded",
+			"too many analyses in flight", fmt.Sprintf("max_inflight=%d", s.cfg.MaxInFlight))
+		return
+	}
+	defer func() { <-s.sem }()
+	s.mu.Lock()
+	s.inflight++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.inflight--
+		s.mu.Unlock()
+	}()
+
+	t0 := time.Now()
+	v, err := harness.Validate(r.Context(), src, s.cfg.Harness)
+	if err != nil {
+		s.bumpFailures()
+		writeError(w, http.StatusUnprocessableEntity, "validation_failed",
+			"validation could not run", err.Error())
+		return
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		s.bumpFailures()
+		writeError(w, http.StatusInternalServerError, "internal",
+			"verdict encoding failed", err.Error())
+		return
+	}
+	if err := s.cfg.Registry.SetVerdict(id, v.Admitted(), raw); err != nil {
+		s.bumpFailures()
+		writeError(w, http.StatusNotFound, "not_found",
+			"checker vanished during validation", err.Error())
+		return
+	}
+	s.mu.Lock()
+	if v.Admitted() {
+		s.validationsAdmitted++
+	} else {
+		s.validationsRejected++
+	}
+	s.mu.Unlock()
+	writeJSON(w, struct {
+		ID          string           `json:"id"`
+		Status      string           `json:"status"`
+		Verdict     *harness.Verdict `json:"verdict"`
+		ElapsedNano int64            `json:"elapsed_nanos"`
+	}{id, v.Status, v, time.Since(t0).Nanoseconds()})
+}
+
+// handleCheckerEnable switches a checker on for the tenant. Only
+// admitted checkers are eligible (409 otherwise); any other version
+// of the same checker name is implicitly disabled, so an upgrade is
+// one call. The change is live on the tenant's next analyze.
+func (s *Server) handleCheckerEnable(w http.ResponseWriter, r *http.Request) {
+	s.countRequest()
+	id := r.PathValue("id")
+	tenant := tenantOf(r)
+	e, ok := s.cfg.Registry.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no such checker", id)
+		return
+	}
+	if err := s.cfg.Registry.Enable(tenant, id); err != nil {
+		writeError(w, http.StatusConflict, "not_admitted",
+			"checker is not admitted for enablement", err.Error())
+		return
+	}
+	writeJSON(w, checkerJSON(e, s.enabledSet(tenant)))
+}
+
+func (s *Server) handleCheckerDisable(w http.ResponseWriter, r *http.Request) {
+	s.countRequest()
+	id := r.PathValue("id")
+	tenant := tenantOf(r)
+	e, ok := s.cfg.Registry.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no such checker", id)
+		return
+	}
+	if err := s.cfg.Registry.Disable(tenant, id); err != nil {
+		writeError(w, http.StatusInternalServerError, "internal",
+			"disable failed", err.Error())
+		return
+	}
+	writeJSON(w, checkerJSON(e, s.enabledSet(tenant)))
+}
+
+func (s *Server) handleCheckerDelete(w http.ResponseWriter, r *http.Request) {
+	s.countRequest()
+	id := r.PathValue("id")
+	if _, ok := s.cfg.Registry.Get(id); !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no such checker", id)
+		return
+	}
+	if err := s.cfg.Registry.Delete(id); err != nil {
+		writeError(w, http.StatusInternalServerError, "internal",
+			"delete failed", err.Error())
+		return
+	}
+	writeJSON(w, struct {
+		ID      string `json:"id"`
+		Deleted bool   `json:"deleted"`
+	}{id, true})
+}

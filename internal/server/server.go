@@ -5,15 +5,31 @@
 // store, so steady-state requests cost roughly the dirty closure of
 // the edit, not the whole tree.
 //
-// The HTTP surface is versioned under /v1/ (DESIGN.md §9):
+// The HTTP surface is versioned under /v1/ (DESIGN.md §9; the full
+// route table lives in DESIGN.md §14):
 //
-//	POST /v1/analyze  {"files": {"a.c": "..."}, "remove": [], "reset": false}
-//	GET  /v1/reports  ?rank=generic|z  ?format=json|text
-//	GET  /v1/stats
-//	GET  /v1/metrics  (Prometheus text format)
+//	POST   /v1/analyze  {"files": {"a.c": "..."}, "remove": [], "reset": false}
+//	GET    /v1/reports  ?rank=generic|z  ?format=json|text
+//	GET    /v1/stats
+//	GET    /v1/metrics  (Prometheus text format)
+//	POST   /v1/checkers                {"source": "sm ...;"}
+//	GET    /v1/checkers
+//	GET    /v1/checkers/{id}
+//	POST   /v1/checkers/{id}/validate
+//	POST   /v1/checkers/{id}/enable    ?tenant=...
+//	POST   /v1/checkers/{id}/disable   ?tenant=...
+//	DELETE /v1/checkers/{id}
+//
+// The checker routes are the admission pipeline (DESIGN.md §14):
+// upload stores a version in the registry, validate runs the harness
+// and attaches a verdict, enable switches a tenant's active set — the
+// next analyze run picks it up without a restart or losing the
+// resident tree, and unchanged checkers replay byte-identically
+// because cache keys fingerprint checker text.
 //
 // The unversioned paths (/analyze, /reports, /stats, /metrics) remain
-// as aliases for pre-v1 clients. Every error response is a uniform
+// as aliases for pre-v1 clients and answer with a "Deprecation: true"
+// header naming the /v1 successor. Every error response is a uniform
 // JSON envelope {"code": ..., "message": ..., "details": ...}.
 //
 // Resource governance: at most Config.MaxInFlight analyze requests are
@@ -37,6 +53,8 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/feas"
+	"repro/internal/harness"
+	"repro/internal/registry"
 	"repro/internal/report"
 	"repro/mc"
 )
@@ -71,6 +89,14 @@ type Config struct {
 	// SpillDir is where streaming mode spills summaries; empty means a
 	// per-run temp directory.
 	SpillDir string
+	// Registry is the versioned checker inventory backing the
+	// /v1/checkers routes (DESIGN.md §14). Nil gets a fresh memory-only
+	// registry, so the routes always work; pass registry.Open(dir) to
+	// persist uploads and enable state across restarts.
+	Registry *registry.Registry
+	// Harness tunes checker validation; the zero value means
+	// harness.DefaultConfig() with the daemon's Jobs setting.
+	Harness harness.Config
 	// Verify enables the asynchronous feasibility-verdict pipeline
 	// (DESIGN.md §13): analyze responses return immediately with every
 	// report marked "unverified", and a bounded worker pool replays
@@ -121,6 +147,14 @@ type Server struct {
 	spillReloads   int64
 	spillBytes     int64
 	astsReleased   int64
+	// Checker-platform counters (DESIGN.md §14): hot-reloads observed
+	// on the analyze path and validation outcomes. lastEnabled tracks
+	// each tenant's active-set fingerprint so a changed set on the next
+	// run counts as exactly one reload.
+	checkerReloads      int64
+	validationsAdmitted int64
+	validationsRejected int64
+	lastEnabled         map[string]string
 
 	// Feasibility pipeline (nil unless Config.Verify; DESIGN.md §13).
 	// verifyCur marks the reports of the current run: a new analysis
@@ -143,11 +177,23 @@ func New(cfg Config) *Server {
 	if store == nil {
 		store = cache.NewMemStore()
 	}
+	if cfg.Registry == nil {
+		cfg.Registry, _ = registry.Open("") // memory-only never fails
+	}
+	if cfg.Harness.CorpusScale == 0 {
+		jobs := cfg.Harness.Jobs
+		if jobs == 0 {
+			jobs = cfg.Jobs
+		}
+		cfg.Harness = harness.DefaultConfig()
+		cfg.Harness.Jobs = jobs
+	}
 	s := &Server{
-		cfg:   cfg,
-		store: store,
-		sem:   make(chan struct{}, cfg.MaxInFlight),
-		srcs:  map[string]string{},
+		cfg:         cfg,
+		store:       store,
+		sem:         make(chan struct{}, cfg.MaxInFlight),
+		srcs:        map[string]string{},
+		lastEnabled: map[string]string{},
 	}
 	if cfg.Verify {
 		var budget feas.Budget
@@ -211,9 +257,14 @@ func retryAfterSeconds(d time.Duration, inflight int64) int {
 }
 
 // newAnalyzer assembles a fresh analyzer over the given tree and the
-// resident store. Analyzer construction is cheap; all heavy state
-// (parsed ASTs, unit results) lives in the store.
-func (s *Server) newAnalyzer(tree map[string]string) (*mc.Analyzer, error) {
+// resident store for one tenant. Analyzer construction is cheap; all
+// heavy state (parsed ASTs, unit results) lives in the store. The
+// registry read here IS the hot-reload: every run loads the tenant's
+// currently enabled checkers, so an enable/disable between requests
+// takes effect on the next analyze with no restart — and because unit
+// cache keys fingerprint checker text, a changed set invalidates only
+// its own units.
+func (s *Server) newAnalyzer(tree map[string]string, tenant string) (*mc.Analyzer, error) {
 	a := mc.NewAnalyzer()
 	cfg := mc.RunConfig{
 		Options:       s.cfg.Options,
@@ -236,10 +287,42 @@ func (s *Server) newAnalyzer(tree map[string]string) (*mc.Analyzer, error) {
 			return nil, err
 		}
 	}
+	enabled, err := s.cfg.Registry.Enabled(tenant)
+	if err != nil {
+		return nil, err
+	}
+	for _, es := range enabled {
+		if err := a.LoadChecker(es.Source); err != nil {
+			return nil, fmt.Errorf("registry checker %s: %w", es.Entry.ID, err)
+		}
+	}
 	for name, src := range tree {
 		a.AddSource(name, src)
 	}
 	return a, nil
+}
+
+// noteReload compares the tenant's active checker set against the one
+// its previous analyze ran with, counting one hot-reload per change.
+// Called with s.mu held.
+func (s *Server) noteReloadLocked(tenant string) {
+	key := strings.Join(s.cfg.Registry.EnabledIDs(tenant), ",")
+	if prev, ok := s.lastEnabled[tenant]; ok && prev != key {
+		s.checkerReloads++
+	}
+	s.lastEnabled[tenant] = key
+}
+
+// tenantOf extracts the request's tenant: the "tenant" query
+// parameter, then the X-Tenant header, then the default tenant.
+func tenantOf(r *http.Request) string {
+	if t := r.URL.Query().Get("tenant"); t != "" {
+		return t
+	}
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return registry.DefaultTenant
 }
 
 // ErrorEnvelope is the uniform error body every endpoint returns on
@@ -315,17 +398,46 @@ func reportJSON(r *report.Report) ReportJSON {
 	}
 }
 
-// Handler returns the daemon's HTTP handler: the /v1/ surface, the
-// unversioned legacy aliases, and an enveloped 404 for everything
-// else.
+// Handler returns the daemon's HTTP handler: the /v1/ surface
+// (including the /v1/checkers admission pipeline), the unversioned
+// legacy aliases (which answer with a Deprecation header naming their
+// /v1 successor), and an enveloped 404 for everything else.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	for _, prefix := range []string{"/v1", ""} {
-		mux.HandleFunc(prefix+"/analyze", s.handleAnalyze)
-		mux.HandleFunc(prefix+"/reports", s.handleReports)
-		mux.HandleFunc(prefix+"/stats", s.handleStats)
-		mux.HandleFunc(prefix+"/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/reports", s.handleReports)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/checkers", s.handleCheckerUpload)
+	mux.HandleFunc("GET /v1/checkers", s.handleCheckerList)
+	mux.HandleFunc("GET /v1/checkers/{id}", s.handleCheckerGet)
+	mux.HandleFunc("POST /v1/checkers/{id}/validate", s.handleCheckerValidate)
+	mux.HandleFunc("POST /v1/checkers/{id}/enable", s.handleCheckerEnable)
+	mux.HandleFunc("POST /v1/checkers/{id}/disable", s.handleCheckerDisable)
+	mux.HandleFunc("DELETE /v1/checkers/{id}", s.handleCheckerDelete)
+	// Wrong-method (and unknown-subpath) requests under /v1/checkers
+	// would otherwise get the mux's plain-text 405; keep the enveloped
+	// surface uniform.
+	fallback := func(w http.ResponseWriter, r *http.Request) {
+		s.countRequest()
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"method not supported on this route", r.Method+" "+r.URL.Path)
 	}
+	mux.HandleFunc("/v1/checkers", fallback)
+	mux.HandleFunc("/v1/checkers/", fallback)
+	// Legacy aliases: same handlers, plus deprecation signaling (the
+	// /v1 path is the successor; new routes have no legacy alias).
+	legacy := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+			h(w, r)
+		}
+	}
+	mux.HandleFunc("/analyze", legacy(s.handleAnalyze))
+	mux.HandleFunc("/reports", legacy(s.handleReports))
+	mux.HandleFunc("/stats", legacy(s.handleStats))
+	mux.HandleFunc("/metrics", legacy(s.handleMetrics))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		s.countRequest()
 		writeError(w, http.StatusNotFound, "not_found",
@@ -347,6 +459,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			"POST only", r.Method)
 		return
 	}
+	tenant := tenantOf(r)
 	var req AnalyzeRequest
 	if r.Body != nil {
 		dec := json.NewDecoder(r.Body)
@@ -423,7 +536,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.testRunHook(ctx)
 	}
 
-	a, err := s.newAnalyzer(next)
+	a, err := s.newAnalyzer(next, tenant)
 	if err != nil {
 		s.bumpFailures()
 		writeError(w, http.StatusInternalServerError, "internal",
@@ -450,6 +563,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	s.analyses++
+	s.noteReloadLocked(tenant)
 	s.checkerFailures += int64(len(res.Failures))
 	if res.Degraded {
 		s.degradedRuns++
@@ -577,6 +691,13 @@ type StatsResponse struct {
 	SpillBytes     int64 `json:"spill_bytes"`
 	ASTsReleased   int64 `json:"asts_released"`
 	MaxResidentMB  int   `json:"max_resident_mb,omitempty"`
+	// Checker-platform counters (DESIGN.md §14): active-set changes
+	// observed on the analyze path, validation outcomes, and the
+	// registry inventory size.
+	CheckerReloads      int64 `json:"checker_reloads"`
+	ValidationsAdmitted int64 `json:"validations_admitted"`
+	ValidationsRejected int64 `json:"validations_rejected"`
+	RegistryCheckers    int   `json:"registry_checkers"`
 
 	Files    int                   `json:"files"`
 	Reports  int                   `json:"reports"`
@@ -616,6 +737,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		MaxResidentMB:   s.cfg.MaxResidentMB,
 		Files:           len(s.srcs),
 		Incr:            s.lastIncr,
+
+		CheckerReloads:      s.checkerReloads,
+		ValidationsAdmitted: s.validationsAdmitted,
+		ValidationsRejected: s.validationsRejected,
+		RegistryCheckers:    len(s.cfg.Registry.List()),
 	}
 	if s.last != nil {
 		resp.Reports = len(s.last.Reports)
@@ -659,6 +785,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("xgccd_spill_reloads_total", s.spillReloads, "summaries demand-loaded back from the spill store")
 	counter("xgccd_spill_bytes_total", s.spillBytes, "bytes written to the spill store")
 	counter("xgccd_asts_released_total", s.astsReleased, "function bodies released after unit retirement")
+	counter("xgccd_checker_reloads_total", s.checkerReloads, "active checker-set changes picked up by analyze runs")
+	fmt.Fprintf(&sb, "# HELP xgccd_validations_total checker validations by outcome\n# TYPE xgccd_validations_total counter\n")
+	fmt.Fprintf(&sb, "xgccd_validations_total{outcome=\"admitted\"} %d\n", s.validationsAdmitted)
+	fmt.Fprintf(&sb, "xgccd_validations_total{outcome=\"rejected\"} %d\n", s.validationsRejected)
+	gauge("xgccd_registry_checkers", float64(len(s.cfg.Registry.List())), "checker versions stored in the registry")
 	if s.feas != nil {
 		fs := s.feas.Stats()
 		counter("xgccd_feas_enqueued_total", fs.Enqueued, "reports queued for feasibility verdicts")
@@ -699,6 +830,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
+	writeJSONBody(w, v)
+}
+
+// writeJSONBody encodes v for callers that already wrote the header
+// (non-200 successes like 201 Created).
+func writeJSONBody(w http.ResponseWriter, v interface{}) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)

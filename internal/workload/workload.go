@@ -486,6 +486,114 @@ func FeasPopulation(funcs int, seed int64) Program {
 	return Program{Source: sb.String(), Bugs: bugs, Funcs: funcs}
 }
 
+// ValidationCorpus generates the checker-admission corpus the
+// validation harness (internal/harness, DESIGN.md §14) runs candidate
+// checkers against. Ground truth is exact: Bugs lists every seeded
+// defect, and any report on a function outside Bugs is a false
+// positive. The corpus is built to separate three failure modes of
+// machine-written checkers on one fixed input:
+//
+//   - over-reporting: most functions are clean, and the call_fan_*
+//     functions are dense with benign calls — a checker that fires on
+//     ordinary calls drowns in false positives and its §9 z-statistic
+//     (TPs vs total reports, p0 = 0.5) goes strongly negative;
+//   - budget-blowing: the branch_fan_* functions carry many sequential
+//     diamonds stuffed with expressions — a checker that tracks an
+//     instance per expression multiplies block visits far past what
+//     any bundled checker needs, tripping the harness's traversal
+//     budgets;
+//   - missed behavior is NOT gated: a checker whose domain the corpus
+//     doesn't exercise simply reports nothing and is admitted as
+//     harmless.
+//
+// Every seeded-bug and clean shape mirrors MixedTree (E11), where the
+// bundled suite's precision is already pinned, so all bundled
+// checkers must come out admitted.
+func ValidationCorpus(scale int, seed int64) Program {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.WriteString(prologue)
+	sb.WriteString("int shared_lock;\nvoid ping(int x);\nvoid pong(int x);\n")
+	var bugs []Bug
+	line := strings.Count(prologue, "\n") + 3
+	emit := func(s string) {
+		sb.WriteString(s)
+		line += strings.Count(s, "\n")
+	}
+	for g := 0; g < scale; g++ {
+		// Seeded true positives, one per checker domain.
+		name := fmt.Sprintf("vc%d_uaf", g)
+		bugs = append(bugs, Bug{Kind: "use-after-free", Func: name, Line: line + 2})
+		emit(fmt.Sprintf("int %s(int *p) {\n    kfree(p);\n    return *p;\n}\n", name))
+
+		name = fmt.Sprintf("vc%d_df", g)
+		bugs = append(bugs, Bug{Kind: "double-free", Func: name, Line: line + 2})
+		emit(fmt.Sprintf("void %s(int *p) {\n    kfree(p);\n    kfree(p);\n}\n", name))
+
+		name = fmt.Sprintf("vc%d_unlock", g)
+		bugs = append(bugs, Bug{Kind: "missing-unlock", Func: name, Line: line + 1})
+		emit(fmt.Sprintf("void %s(void) {\n    lock(&shared_lock);\n    shared_lock = 0;\n}\n", name))
+
+		name = fmt.Sprintf("vc%d_null", g)
+		bugs = append(bugs, Bug{Kind: "null-deref", Func: name, Line: line + 2})
+		emit(fmt.Sprintf("int %s(int n) {\n    int *p = kmalloc(n);\n    int v = *p;\n    kfree(p);\n    return v;\n}\n", name))
+
+		name = fmt.Sprintf("vc%d_leak", g)
+		bugs = append(bugs, Bug{Kind: "leak", Func: name, Line: line + 1})
+		emit(fmt.Sprintf("int %s(int n) {\n    int *p = kmalloc(n);\n    return n;\n}\n", name))
+
+		name = fmt.Sprintf("vc%d_intr", g)
+		bugs = append(bugs, Bug{Kind: "interrupt", Func: name, Line: line + 1})
+		emit(fmt.Sprintf("void %s(void) {\n    cli();\n}\n", name))
+
+		// Clean counterparts: correct lifecycles a sound checker must
+		// stay silent on.
+		emit(fmt.Sprintf(`int vc%d_clean_free(int n) {
+    int *p = kmalloc(n);
+    if (!p)
+        return -1;
+    *p = n;
+    kfree(p);
+    return 0;
+}
+`, g))
+		emit(fmt.Sprintf(`void vc%d_clean_lock(int v) {
+    lock(&shared_lock);
+    shared_lock = v;
+    unlock(&shared_lock);
+}
+`, g))
+		emit(fmt.Sprintf("void vc%d_clean_intr(void) {\n    cli();\n    sti();\n}\n", g))
+		emit(fmt.Sprintf(`int vc%d_contra(int *p, int flag) {
+    if (flag)
+        kfree(p);
+    if (!flag)
+        return *p;
+    return 0;
+}
+`, g))
+
+		// Over-reporter fodder: clean functions dense with benign calls.
+		emit(fmt.Sprintf("int vc%d_call_fan(int n) {\n", g))
+		for i := 0; i < 12; i++ {
+			emit(fmt.Sprintf("    printk(\"step %d %d\", n);\n    ping(n + %d);\n    pong(n - %d);\n", g, i, i, i))
+		}
+		emit("    return n;\n}\n")
+
+		// Budget fodder: sequential diamonds full of expressions. A
+		// checker tracking a handful of pointers walks this in linear
+		// time; one that creates an instance per expression multiplies
+		// every block visit by the expression count.
+		emit(fmt.Sprintf("int vc%d_branch_fan(int n) {\n    int a = n, b = n + 1, c = n + 2, d = n + 3;\n", g))
+		diamonds := 10 + rng.Intn(3)
+		for i := 0; i < diamonds; i++ {
+			emit(fmt.Sprintf("    if (n > %d) {\n        a = a + b; b = b + c; c = c + d; d = d + a;\n        ping(a + b);\n    } else {\n        a = a - b; b = b - c; c = c - d; d = d - a;\n        pong(c + d);\n    }\n", i))
+		}
+		emit("    return a + b + c + d;\n}\n")
+	}
+	return Program{Source: sb.String(), Bugs: bugs, Funcs: scale * 12}
+}
+
 // NextVersion simulates an edit cycle on a generated tree (§8
 // "History"): every file gains a header banner (shifting all line
 // numbers), function bodies gain harmless churn, and one brand-new

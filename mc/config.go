@@ -1,11 +1,10 @@
 package mc
 
 // Consolidated configuration (the context-first API surface, DESIGN.md
-// §9): RunConfig gathers every knob that previously required its own
-// setter — options, parallelism, cache wiring, budgets, timeout — and
-// Configure applies them in one call. The per-field setters
-// (SetOptions, SetParallelism, SetCache, SetCacheStore) remain as thin
-// deprecated wrappers; see the migration table in README.md.
+// §9): RunConfig gathers every knob — options, parallelism, cache
+// wiring, budgets, timeout — and Configure applies them in one call.
+// This is the only configuration surface; the per-field setters from
+// earlier releases are gone (see README.md "Configuring the analyzer").
 
 import (
 	"context"
@@ -35,19 +34,17 @@ type CheckerFailure = core.CheckerFailure
 // and AnalyzeContext. The zero value changes nothing: every field is
 // optional and only non-zero fields are applied.
 type RunConfig struct {
-	// Options replaces the engine feature switches when non-nil
-	// (equivalent to the deprecated SetOptions).
+	// Options replaces the engine feature switches when non-nil.
 	Options *Options
 	// Jobs sets the worker count for parallel parsing and checker
 	// execution; 0 keeps the current setting, negative restores the
 	// default (runtime.GOMAXPROCS).
 	Jobs int
 	// CacheDir enables the persistent analysis cache in a directory
-	// (equivalent to the deprecated SetCache). Mutually exclusive with
-	// CacheStore.
+	// (created if needed). Mutually exclusive with CacheStore.
 	CacheDir string
 	// CacheStore enables the analysis cache on an arbitrary store
-	// (equivalent to the deprecated SetCacheStore).
+	// (e.g. cache.NewMemStore() for a resident daemon).
 	CacheStore cache.Store
 	// Budgets bounds each traversal; a non-zero value overrides
 	// Options.Budgets (so callers can pass DefaultOptions plus a

@@ -1,6 +1,7 @@
 package mc_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ int handler(int *p) {
 	if err := a.LoadBundledChecker("free"); err != nil {
 		log.Fatal(err)
 	}
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +51,7 @@ start:
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,7 +77,7 @@ void f(int *p) { kfree(p); kfree(p); }
 	a := mc.NewAnalyzer()
 	a.AddAST(f)
 	a.LoadBundledChecker("free")
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,7 +98,7 @@ void ok3(int *c) { kfree(c); }
 void bug(int *d) { kfree(d); kfree(d); }
 `)
 	a.LoadBundledChecker("free")
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

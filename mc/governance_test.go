@@ -281,19 +281,25 @@ func TestAnalyzeContextEndToEnd(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappersStillWork pins the migration contract: the old
-// entry points remain functional thin wrappers.
-func TestDeprecatedWrappersStillWork(t *testing.T) {
+// TestConfigureIsTheOnlySurface pins the post-migration contract: one
+// Configure call covers options, parallelism, and cache wiring — the
+// per-field setters from earlier releases no longer exist.
+func TestConfigureIsTheOnlySurface(t *testing.T) {
 	a := NewAnalyzer()
 	a.AddSource("v.c", victimSrc)
 	if err := a.LoadBundledChecker("free"); err != nil {
 		t.Fatal(err)
 	}
-	a.SetOptions(DefaultOptions())
-	a.SetParallelism(2)
-	a.SetCacheStore(cache.NewMemStore())
-	res, err := a.Run()
+	opts := DefaultOptions()
+	if err := a.Configure(RunConfig{
+		Options:    &opts,
+		Jobs:       2,
+		CacheStore: cache.NewMemStore(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.RunContext(context.Background())
 	if err != nil || len(res.Reports) == 0 {
-		t.Errorf("deprecated path broken: %v", err)
+		t.Errorf("configured analyzer broken: %v", err)
 	}
 }

@@ -41,30 +41,10 @@ import (
 	"repro/internal/rank"
 )
 
-// SetCache enables the persistent analysis cache backed by a
-// directory (created if needed). Warm re-runs replay unchanged work
-// from it; output is byte-identical to a cold run.
-//
-// Deprecated: use Configure with RunConfig.CacheDir; SetCache remains
-// as a thin wrapper (see the migration table in README.md).
-func (a *Analyzer) SetCache(dir string) error {
-	ds, err := cache.NewDirStore(dir)
-	if err != nil {
-		return err
-	}
-	a.SetCacheStore(ds)
-	return nil
-}
-
-// SetCacheStore enables the analysis cache on an arbitrary store
-// (e.g. cache.NewMemStore() for a resident daemon). A nil store
-// disables caching.
-//
-// Deprecated: use Configure with RunConfig.CacheStore; SetCacheStore
-// remains as a thin wrapper (see the migration table in README.md).
-func (a *Analyzer) SetCacheStore(s cache.Store) { a.setStore(s) }
-
-// setStore is the shared backing for SetCacheStore and Configure.
+// setStore enables the analysis cache on an arbitrary store (e.g.
+// cache.NewMemStore() for a resident daemon); Configure is the public
+// way in (RunConfig.CacheDir / CacheStore). A nil store disables
+// caching.
 func (a *Analyzer) setStore(s cache.Store) {
 	if s == nil {
 		a.cacheStore = nil
@@ -454,6 +434,7 @@ func mergeStats(dst, src *core.Stats) {
 	dst.FuncCacheHits += src.FuncCacheHits
 	dst.FuncFollows += src.FuncFollows
 	dst.RecursionCuts += src.RecursionCuts
+	dst.InstanceOps += src.InstanceOps
 	dst.HitBlockLimit = dst.HitBlockLimit || src.HitBlockLimit
 	for k, v := range src.Analyses {
 		dst.Analyses[k] += v

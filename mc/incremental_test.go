@@ -6,6 +6,7 @@ package mc_test
 // output, z-ranked output, rule groups, and engine statistics alike.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -21,7 +22,9 @@ var incrCheckers = []string{"free", "lock", "null", "leak", "interrupt", "panic-
 func newIncrAnalyzer(t *testing.T, srcs map[string]string, jobs int, store cache.Store) *mc.Analyzer {
 	t.Helper()
 	a := mc.NewAnalyzer()
-	a.SetParallelism(jobs)
+	if err := a.Configure(mc.RunConfig{Jobs: jobs, CacheStore: store}); err != nil {
+		t.Fatal(err)
+	}
 	for name, src := range srcs {
 		a.AddSource(name, src)
 	}
@@ -32,9 +35,6 @@ func newIncrAnalyzer(t *testing.T, srcs map[string]string, jobs int, store cache
 	}
 	// Pre-marks exercise the composition channel in the cache keys.
 	a.MarkFunction("printk", "blocking")
-	if store != nil {
-		a.SetCacheStore(store)
-	}
 	return a
 }
 
@@ -66,7 +66,7 @@ func outputDigest(res *mc.Result) string {
 
 func runDigest(t *testing.T, srcs map[string]string, jobs int, store cache.Store) (string, *mc.Result) {
 	t.Helper()
-	res, err := newIncrAnalyzer(t, srcs, jobs, store).Run()
+	res, err := newIncrAnalyzer(t, srcs, jobs, store).RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestWarmIdenticalRunReplaysEverything(t *testing.T) {
 func TestIncrementalProperty(t *testing.T) {
 	srcs, _ := workload.MixedTree(3, 10, 2002)
 	store := cache.NewMemStore()
-	if _, err := newIncrAnalyzer(t, srcs, 4, store).Run(); err != nil {
+	if _, err := newIncrAnalyzer(t, srcs, 4, store).RunContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 

@@ -9,7 +9,7 @@
 //	a := mc.NewAnalyzer()
 //	a.AddSource("driver.c", src)
 //	a.LoadBundledChecker("free")
-//	res, err := a.Run()
+//	res, err := a.RunContext(ctx)
 //	for _, r := range res.Ranked() {
 //	    fmt.Println(r)
 //	}
@@ -58,9 +58,9 @@ type Analyzer struct {
 	// jobs is the worker count for parallel parsing and checker
 	// execution; 0 means runtime.GOMAXPROCS(0).
 	jobs int
-	// Incremental cache (SetCache/SetCacheStore); nil runs the plain
-	// path. checkerFPs tracks one source fingerprint per loaded
-	// checker for cache keying.
+	// Incremental cache (RunConfig.CacheDir / CacheStore); nil runs
+	// the plain path. checkerFPs tracks one source fingerprint per
+	// loaded checker for cache keying.
 	cacheStore   cache.Store
 	cacheMetrics *cache.Metrics
 	checkerFPs   []string
@@ -80,26 +80,6 @@ func NewAnalyzer() *Analyzer {
 		shared: core.NewShared(),
 		marks:  map[string][]string{},
 	}
-}
-
-// SetOptions replaces the engine options.
-//
-// Deprecated: use Configure with RunConfig.Options; SetOptions
-// remains as a thin wrapper (see the migration table in README.md).
-func (a *Analyzer) SetOptions(o Options) { a.opts = o }
-
-// SetParallelism sets the number of workers used for pass-1 parsing
-// and concurrent checker execution. n <= 0 restores the default
-// (runtime.GOMAXPROCS). Any value yields bit-identical results; see
-// DESIGN.md §5 "Engine parallelism".
-//
-// Deprecated: use Configure with RunConfig.Jobs; SetParallelism
-// remains as a thin wrapper.
-func (a *Analyzer) SetParallelism(n int) {
-	if n < 0 {
-		n = 0
-	}
-	a.jobs = n
 }
 
 func (a *Analyzer) parallelism() int {
@@ -229,13 +209,6 @@ type Result struct {
 	Degraded     bool
 	Degradations []DegradeEvent
 }
-
-// Run is RunContext with a background context.
-//
-// Deprecated: use RunContext so analyses are cancellable and
-// deadline-bounded; Run remains as a thin wrapper (see the migration
-// table in README.md).
-func (a *Analyzer) Run() (*Result, error) { return a.RunContext(context.Background()) }
 
 // RunContext parses everything (pass 1 fans out over a worker pool),
 // assembles the program, and applies each loaded checker (engines run

@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,7 +27,7 @@ func TestAnalyzerEndToEnd(t *testing.T) {
 	if err := a.LoadBundledChecker("free"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,11 +42,11 @@ func TestAnalyzerEndToEnd(t *testing.T) {
 
 func TestAnalyzerErrors(t *testing.T) {
 	a := NewAnalyzer()
-	if _, err := a.Run(); err == nil {
+	if _, err := a.RunContext(context.Background()); err == nil {
 		t.Error("no sources: want error")
 	}
 	a.AddSource("x.c", "int x;")
-	if _, err := a.Run(); err == nil {
+	if _, err := a.RunContext(context.Background()); err == nil {
 		t.Error("no checkers: want error")
 	}
 	if err := a.LoadBundledChecker("nope"); err == nil {
@@ -57,7 +58,7 @@ func TestAnalyzerErrors(t *testing.T) {
 	a2 := NewAnalyzer()
 	a2.AddSource("bad.c", "int f( {")
 	a2.LoadBundledChecker("free")
-	if _, err := a2.Run(); err == nil {
+	if _, err := a2.RunContext(context.Background()); err == nil {
 		t.Error("parse error should propagate")
 	}
 }
@@ -76,7 +77,7 @@ func TestTwoPassPipeline(t *testing.T) {
 	a := NewAnalyzer()
 	a.AddAST(f)
 	a.LoadBundledChecker("free")
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ void bad(void) {
 	if err := a.LoadBundledChecker("block"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestHistorySuppression(t *testing.T) {
 	a := NewAnalyzer()
 	a.AddSource("drv.c", driverSrc)
 	a.LoadBundledChecker("free")
-	res, _ := a.Run()
+	res, _ := a.RunContext(context.Background())
 	if len(res.Reports) != 1 {
 		t.Fatal("setup failed")
 	}
@@ -121,7 +122,7 @@ func TestHistorySuppression(t *testing.T) {
 	b.AddSource("drv.c", driverSrc)
 	b.LoadBundledChecker("free")
 	b.SetHistory(res.Reports)
-	res2, _ := b.Run()
+	res2, _ := b.RunContext(context.Background())
 	if len(res2.Reports) != 0 {
 		t.Errorf("history should suppress the known report; got %v", res2.Reports)
 	}
@@ -137,7 +138,7 @@ void good3(int *c) { kfree(c); }
 void bad(int *d) { kfree(d); kfree(d); }
 `)
 	a.LoadBundledChecker("free")
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ start:
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestE11SuitePrecision(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +281,7 @@ void twice(int dev, char *b) {
 	if err := a.LoadChecker(checker); err != nil {
 		t.Fatal(err)
 	}
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,12 +320,11 @@ int f(int *p) { kfree(p); return *p; }
 	}
 
 	a := NewAnalyzer()
-	a.SetOptions(DefaultOptions())
 	if err := a.AddDirectory(dir); err != nil {
 		t.Fatal(err)
 	}
 	a.LoadBundledChecker("free")
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +340,7 @@ int f(int *p) { kfree(p); return *p; }
 		t.Fatal(err)
 	}
 	b.LoadBundledChecker("free")
-	res2, err := b.Run()
+	res2, err := b.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,7 +372,7 @@ void u2(void) { acq(); rel(); }
 void u3(void) { acq(); }
 `)
 	a.LoadBundledChecker("free")
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ package mc
 // ranking — and the same holds through the incremental-cache path.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cache"
@@ -18,8 +19,9 @@ func runSuiteDispatch(t *testing.T, srcs map[string]string, jobs int, dispatch b
 	a := NewAnalyzer()
 	opts := DefaultOptions()
 	opts.MultiDispatch = dispatch
-	a.SetOptions(opts)
-	a.SetParallelism(jobs)
+	if err := a.Configure(RunConfig{Options: &opts, Jobs: jobs}); err != nil {
+		t.Fatal(err)
+	}
 	for name, src := range srcs {
 		a.AddSource(name, src)
 	}
@@ -30,7 +32,7 @@ func runSuiteDispatch(t *testing.T, srcs map[string]string, jobs int, dispatch b
 	}
 	a.MarkFunction("net_wait", "blocking")
 	a.MarkFunction("disk_sync", "blocking")
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,8 +80,9 @@ func TestMultiDispatchThroughCache(t *testing.T) {
 		a := NewAnalyzer()
 		opts := DefaultOptions()
 		opts.MultiDispatch = true
-		a.SetOptions(opts)
-		a.SetCacheStore(store)
+		if err := a.Configure(RunConfig{Options: &opts, CacheStore: store}); err != nil {
+			t.Fatal(err)
+		}
 		for name, src := range srcs {
 			a.AddSource(name, src)
 		}
@@ -90,7 +93,7 @@ func TestMultiDispatchThroughCache(t *testing.T) {
 		}
 		a.MarkFunction("net_wait", "blocking")
 		a.MarkFunction("disk_sync", "blocking")
-		res, err := a.Run()
+		res, err := a.RunContext(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -16,7 +17,9 @@ import (
 func runSuite(t *testing.T, srcs map[string]string, jobs int) *Result {
 	t.Helper()
 	a := NewAnalyzer()
-	a.SetParallelism(jobs)
+	if err := a.Configure(RunConfig{Jobs: jobs}); err != nil {
+		t.Fatal(err)
+	}
 	for name, src := range srcs {
 		a.AddSource(name, src)
 	}
@@ -27,7 +30,7 @@ func runSuite(t *testing.T, srcs map[string]string, jobs int) *Result {
 	}
 	a.MarkFunction("net_wait", "blocking")
 	a.MarkFunction("disk_sync", "blocking")
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +122,9 @@ void die(int x) { if (x) { panic(); } }
 `
 	count := func(annotatorFirst bool, jobs int) int {
 		a := NewAnalyzer()
-		a.SetParallelism(jobs)
+		if err := a.Configure(RunConfig{Jobs: jobs}); err != nil {
+			t.Fatal(err)
+		}
 		a.AddSource("t.c", src)
 		load := func(first bool) {
 			if first {
@@ -132,7 +137,7 @@ void die(int x) { if (x) { panic(); } }
 		}
 		load(annotatorFirst)
 		load(!annotatorFirst)
-		res, err := a.Run()
+		res, err := a.RunContext(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -204,7 +209,7 @@ func TestAddFileKeepsSameBasenameDistinct(t *testing.T) {
 	if err := a.LoadBundledChecker("free"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

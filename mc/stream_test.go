@@ -9,6 +9,7 @@ package mc
 // replays under a non-streaming run and vice versa.
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"strings"
@@ -40,7 +41,7 @@ func streamRun(t *testing.T, srcs map[string]string, jobs, maxMB int, store cach
 		}
 	}
 	a.MarkFunction("net_wait", "blocking")
-	res, err := a.Run()
+	res, err := a.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestVerifyDeterminismMatrix(t *testing.T) {
 		if err := a.LoadBundledChecker("free"); err != nil {
 			t.Fatal(err)
 		}
-		res, err := a.Run()
+		res, err := a.RunContext(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
