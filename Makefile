@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet staticcheck build test race bench-parallel bench-incr bench-gov bench-hotpath bench-multicheck bench-scale bench-feas bench-registry bench-micro profile clean
+.PHONY: check fmt vet staticcheck build test race smoke-fleet bench-parallel bench-incr bench-gov bench-hotpath bench-multicheck bench-scale bench-feas bench-registry bench-fleet bench-micro profile clean
 
-check: fmt vet staticcheck build race
+check: fmt vet staticcheck build race smoke-fleet
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -34,6 +34,11 @@ test:
 # governance layer exists to cut) from hanging the gate.
 race:
 	$(GO) test -race -timeout 120s ./...
+
+# Boots a real coordinator + worker pair (DESIGN.md §15) and checks
+# health and one analyze round-trip, so the fleet flags can't rot.
+smoke-fleet:
+	sh scripts/smoke_fleet.sh
 
 # Engine-parallelism scaling series (DESIGN.md §5): sweeps -j over the
 # E11 workload, asserts byte-identical output, writes BENCH_parallel.json.
@@ -94,6 +99,16 @@ bench-feas:
 bench-registry:
 	$(GO) run ./cmd/mcbench -exp registry
 
+# Scale-out fleet series (DESIGN.md §15): worker-count sweep with
+# byte-identity against the single-process run, second-tenant reuse
+# over a warm shared CAS (>= 90% replayed, zero dispatches), and the
+# K=8 identical-burst coalescing bound (one analysis, <= 1.5x one
+# post). Writes BENCH_fleet.json. CI passes FLEET_FLAGS=-fleet-short
+# (smaller tree and sweep).
+FLEET_FLAGS ?=
+bench-fleet:
+	$(GO) run ./cmd/mcbench -exp fleet $(FLEET_FLAGS)
+
 # Microbenchmarks for the §10 hot paths (match memoization, block
 # traversal, instance clone). -benchtime 100x keeps the target quick
 # enough for CI; drop the override for stable local numbers.
@@ -108,6 +123,6 @@ profile:
 	$(GO) run ./cmd/mcbench -cpuprofile pprof/mcbench.cpu -memprofile pprof/mcbench.mem -exp hotpath
 
 clean:
-	rm -f BENCH_parallel.json BENCH_incremental.json BENCH_governance.json BENCH_hotpath.json BENCH_multicheck.json BENCH_scale.json BENCH_feas.json BENCH_registry.json
+	rm -f BENCH_parallel.json BENCH_incremental.json BENCH_governance.json BENCH_hotpath.json BENCH_multicheck.json BENCH_scale.json BENCH_feas.json BENCH_registry.json BENCH_fleet.json
 	rm -rf pprof
 	$(GO) clean ./...

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/workload"
 	"repro/mc"
@@ -31,13 +32,14 @@ import (
 var feasShortFlag = flag.Bool("feas-short", false, "feas experiment: smaller population (CI mode)")
 
 type feasBench struct {
-	Experiment string `json:"experiment"`
-	Workload   string `json:"workload"`
-	Short      bool   `json:"short,omitempty"`
-	Funcs      int    `json:"funcs"`
-	Reports    int    `json:"reports"`
-	SeededTPs  int    `json:"seeded_true_positives"`
-	SeededFPs  int    `json:"seeded_false_positives"`
+	Experiment string              `json:"experiment"`
+	Workload   string              `json:"workload"`
+	Host       profiling.HostFacts `json:"host"`
+	Short      bool                `json:"short,omitempty"`
+	Funcs      int                 `json:"funcs"`
+	Reports    int                 `json:"reports"`
+	SeededTPs  int                 `json:"seeded_true_positives"`
+	SeededFPs  int                 `json:"seeded_false_positives"`
 
 	Confirmed  int64 `json:"confirmed"`
 	Infeasible int64 `json:"infeasible"`
@@ -57,6 +59,9 @@ type feasBench struct {
 	ColdSeconds   float64 `json:"verify_cold_seconds"`
 	WarmSeconds   float64 `json:"verify_warm_seconds"`
 	WarmCacheHits int64   `json:"warm_cache_hits"`
+	// PeakRSSBytes is the process's high-water resident set when the
+	// series finished (cumulative over every run in this process).
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
 }
 
 func feasAnalyze(pr workload.Program, store cache.Store) *mc.Result {
@@ -108,6 +113,7 @@ func expFeas() {
 	bench := feasBench{
 		Experiment: "feas-verdicts",
 		Workload:   fmt.Sprintf("FeasPopulation(%d,%d), free checker, 4 verdict workers", funcs, seed),
+		Host:       profiling.Host(),
 		Short:      *feasShortFlag,
 		Funcs:      funcs,
 		Reports:    len(res.Reports),
@@ -182,6 +188,7 @@ func expFeas() {
 		die(fmt.Errorf("feas: warm run replayed no verdicts from the cache"))
 	}
 
+	bench.PeakRSSBytes = profiling.PeakRSS()
 	data, err := json.MarshalIndent(bench, "", "  ")
 	if err != nil {
 		die(err)

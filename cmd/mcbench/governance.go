@@ -25,14 +25,15 @@ import (
 // must be invisible). The series lands in BENCH_governance.json.
 
 type govBench struct {
-	Experiment      string  `json:"experiment"`
-	Workload        string  `json:"workload"`
-	Trials          int     `json:"trials"`
-	BaselineSeconds float64 `json:"baseline_seconds"`
-	GovernedSeconds float64 `json:"governed_seconds"`
-	OverheadPct     float64 `json:"overhead_pct"`
-	BoundPct        float64 `json:"bound_pct"`
-	Identical       bool    `json:"identical_output"`
+	Experiment      string              `json:"experiment"`
+	Workload        string              `json:"workload"`
+	Host            profiling.HostFacts `json:"host"`
+	Trials          int                 `json:"trials"`
+	BaselineSeconds float64             `json:"baseline_seconds"`
+	GovernedSeconds float64             `json:"governed_seconds"`
+	OverheadPct     float64             `json:"overhead_pct"`
+	BoundPct        float64             `json:"bound_pct"`
+	Identical       bool                `json:"identical_output"`
 	// PeakRSSBytes is the process's high-water resident set when the
 	// series finished (cumulative over every run in this process).
 	PeakRSSBytes int64 `json:"peak_rss_bytes"`
@@ -141,6 +142,7 @@ func expGov() {
 	bench := govBench{
 		Experiment:      "governance-overhead",
 		Workload:        "MixedTree(4,25,2002), full bundled checker suite",
+		Host:            profiling.Host(),
 		Trials:          pairs - 1,
 		BaselineSeconds: baseD.Seconds(),
 		GovernedSeconds: govD.Seconds(),

@@ -29,12 +29,11 @@ type hotRun struct {
 }
 
 type hotBench struct {
-	Experiment string   `json:"experiment"`
-	Workload   string   `json:"workload"`
-	NumCPU     int      `json:"num_cpu"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Trials     int      `json:"trials"`
-	Runs       []hotRun `json:"runs"`
+	Experiment string              `json:"experiment"`
+	Workload   string              `json:"workload"`
+	Host       profiling.HostFacts `json:"host"`
+	Trials     int                 `json:"trials"`
+	Runs       []hotRun            `json:"runs"`
 	// SpeedupJ1/J8 are the median over paired trials of the
 	// baseline/optimized wall-clock ratio at each parallelism level
 	// (each trial runs both configs back to back, so host load drift
@@ -85,8 +84,7 @@ func expHotpath() {
 	bench := hotBench{
 		Experiment: "hotpath-ablation",
 		Workload:   "MixedTree(4,25,2002), full bundled checker suite",
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Host:       profiling.Host(),
 		Trials:     hotTrials,
 	}
 

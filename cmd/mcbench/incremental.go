@@ -38,11 +38,12 @@ type incrRun struct {
 }
 
 type incrBench struct {
-	Experiment string    `json:"experiment"`
-	Workload   string    `json:"workload"`
-	Checkers   []string  `json:"checkers"`
-	Jobs       int       `json:"jobs"`
-	Runs       []incrRun `json:"runs"`
+	Experiment string              `json:"experiment"`
+	Workload   string              `json:"workload"`
+	Host       profiling.HostFacts `json:"host"`
+	Checkers   []string            `json:"checkers"`
+	Jobs       int                 `json:"jobs"`
+	Runs       []incrRun           `json:"runs"`
 	// PeakRSSBytes is the process's high-water resident set when the
 	// series finished (cumulative over every run in this process).
 	PeakRSSBytes int64 `json:"peak_rss_bytes"`
@@ -93,6 +94,7 @@ func expIncr() {
 	bench := incrBench{
 		Experiment: "incremental-replay",
 		Workload:   "MixedTree(4,25,2002)",
+		Host:       profiling.Host(),
 		Checkers:   incrBenchCheckers,
 		Jobs:       jobsFlag,
 	}

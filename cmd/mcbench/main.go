@@ -63,6 +63,7 @@ var experiments = []struct {
 	{"scale", "memory-bounded streaming: KLoC/min and peak RSS at 4 tree sizes, spill on/off (writes BENCH_scale.json)", expScale},
 	{"feas", "feasibility verdicts: infeasible-kill and false-kill rates, verdict latency on a seeded population (writes BENCH_feas.json)", expFeas},
 	{"registry", "checker platform: hot-reload latency and admission throughput over /v1/checkers (writes BENCH_registry.json)", expRegistry},
+	{"fleet", "scale-out fleet: worker sharding byte-identity, shared-CAS reuse, analyze coalescing (writes BENCH_fleet.json)", expFleet},
 }
 
 // jobsFlag is the -j value; expPar adds it to its sweep, and 0 means
@@ -109,7 +110,7 @@ func main() {
 	}
 	if ran == 0 {
 		stopProf()
-		fmt.Fprintln(os.Stderr, "mcbench: no such experiment (ids: f1-f6, t1, t2, e1-e12, par, hotpath, incr, gov, multicheck, scale, feas)")
+		fmt.Fprintln(os.Stderr, "mcbench: no such experiment (ids: f1-f6, t1, t2, e1-e12, par, hotpath, incr, gov, multicheck, scale, feas, registry, fleet)")
 		os.Exit(2)
 	}
 }

@@ -39,12 +39,11 @@ type multiRun struct {
 }
 
 type multiBench struct {
-	Experiment string     `json:"experiment"`
-	Workload   string     `json:"workload"`
-	NumCPU     int        `json:"num_cpu"`
-	GOMAXPROCS int        `json:"gomaxprocs"`
-	Trials     int        `json:"trials"`
-	Runs       []multiRun `json:"runs"`
+	Experiment string              `json:"experiment"`
+	Workload   string              `json:"workload"`
+	Host       profiling.HostFacts `json:"host"`
+	Trials     int                 `json:"trials"`
+	Runs       []multiRun          `json:"runs"`
 	// RatioOn50 etc. are median(seconds at N checkers)/median(seconds
 	// at 5 checkers) at -j 1 for each dispatch mode. The acceptance
 	// criterion is RatioOn50 <= 3.
@@ -144,8 +143,7 @@ func expMulticheck() {
 	bench := multiBench{
 		Experiment: "multicheck-dispatch",
 		Workload:   "MixedTree(4,25,2002), 5 bundled checkers + renamed variants",
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Host:       profiling.Host(),
 		Trials:     multiTrials,
 		Identical:  true,
 	}

@@ -29,10 +29,9 @@ type parRun struct {
 }
 
 type parBench struct {
-	Experiment string `json:"experiment"`
-	Workload   string `json:"workload"`
-	NumCPU     int    `json:"num_cpu"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
+	Experiment string              `json:"experiment"`
+	Workload   string              `json:"workload"`
+	Host       profiling.HostFacts `json:"host"`
 	// Constrained is set when the host has a single usable core:
 	// every -j level then runs the same serial schedule, so speedup
 	// ratios are scheduler noise and are omitted from the runs.
@@ -112,13 +111,12 @@ func expPar() {
 	bench := parBench{
 		Experiment:  "parallel-scaling",
 		Workload:    "MixedTree(4,25,2002), full bundled checker suite",
-		NumCPU:      runtime.NumCPU(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Host:        profiling.Host(),
 		Constrained: runtime.NumCPU() == 1 || runtime.GOMAXPROCS(0) == 1,
 	}
 	var baseSec float64
 	var baseDigest string
-	fmt.Printf("cores: %d (GOMAXPROCS %d)\n", bench.NumCPU, bench.GOMAXPROCS)
+	fmt.Printf("cores: %d (GOMAXPROCS %d)\n", bench.Host.NumCPU, bench.Host.GOMAXPROCS)
 	if bench.Constrained {
 		fmt.Println("single-core host: all -j levels run serially; speedups omitted")
 	}

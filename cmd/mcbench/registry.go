@@ -26,8 +26,9 @@ import (
 // dominates and virtualized hosts drift.
 
 type registryBench struct {
-	Experiment string `json:"experiment"`
-	Workload   string `json:"workload"`
+	Experiment string              `json:"experiment"`
+	Workload   string              `json:"workload"`
+	Host       profiling.HostFacts `json:"host"`
 	// Hot-reload: steady-state warm analyze vs the first analyze after
 	// an enable flipped the active checker set.
 	WarmAnalyzeSeconds   float64 `json:"warm_analyze_seconds"`
@@ -225,6 +226,7 @@ func expRegistry() {
 	bench := registryBench{
 		Experiment:           "registry-platform",
 		Workload:             "MixedTree(3,12,2002) resident tree; free,lock,null bundled + uploaded reload_checker versions; harness corpus scale 4",
+		Host:                 profiling.Host(),
 		WarmAnalyzeSeconds:   warm.Seconds(),
 		ReloadAnalyzeSeconds: reload.Seconds(),
 		ReloadLatencySeconds: reload.Seconds() - warm.Seconds(),

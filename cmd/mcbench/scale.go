@@ -166,11 +166,12 @@ type scaleRun struct {
 }
 
 type scaleBench struct {
-	Experiment    string     `json:"experiment"`
-	Workload      string     `json:"workload"`
-	MaxResidentMB int        `json:"max_resident_mb"`
-	Short         bool       `json:"short,omitempty"`
-	Runs          []scaleRun `json:"runs"`
+	Experiment    string              `json:"experiment"`
+	Workload      string              `json:"workload"`
+	Host          profiling.HostFacts `json:"host"`
+	MaxResidentMB int                 `json:"max_resident_mb"`
+	Short         bool                `json:"short,omitempty"`
+	Runs          []scaleRun          `json:"runs"`
 	// RSS growth for a 4x tree (largest size over the size 4x smaller),
 	// spill on vs off, at -j 1. The acceptance criterion is
 	// RSSRatioSpillOn <= RatioBound; the spill-off ratio is reported
@@ -198,6 +199,7 @@ func expScale() {
 	bench := scaleBench{
 		Experiment:    "scale-streaming",
 		Workload:      fmt.Sprintf("MixedTree(N,%d,%d), full bundled checker suite, child process per cell", funcsPerFile, seed),
+		Host:          profiling.Host(),
 		MaxResidentMB: scaleMaxResidentMB,
 		Short:         *scaleShortFlag,
 	}

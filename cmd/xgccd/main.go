@@ -21,18 +21,32 @@
 // -max-inflight sheds excess analyze requests with 429,
 // -request-timeout cancels overlong runs with 503, and the budget
 // flags truncate runaway traversals (DESIGN.md §9).
+//
+// Scale-out (DESIGN.md §15): the same binary is every fleet role.
+//
+//	xgccd -coordinator -workers http://w1:8746,http://w2:8746
+//	xgccd -worker -cas http://coordinator:8745/v1/cas -addr :8746
+//
+// A coordinator is an ordinary daemon that additionally serves its
+// store at /v1/cas/ and schedules each run's cache-miss units onto
+// the workers; workers fill unit cache keys in the shared store and
+// hold no state a restart could lose. Without -coordinator/-worker
+// the daemon is the unchanged single-process mode — output is
+// byte-identical across all three shapes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/fleet"
 	"repro/internal/registry"
 	"repro/internal/server"
 	"repro/mc"
@@ -56,6 +70,13 @@ func main() {
 		spillDir    = flag.String("spill-dir", "", "directory for spilled summaries (default: per-run temp dir; requires -max-resident-mb)")
 		verify      = flag.Bool("verify", false, "run the asynchronous feasibility-verdict pipeline: analyze responses return immediately with verdict \"unverified\" and background workers annotate reports confirmed/infeasible/unknown (DESIGN.md §13)")
 		verifyJobs  = flag.Int("verify-workers", 1, "verdict worker pool size (requires -verify)")
+
+		// Fleet roles (DESIGN.md §15).
+		coordinator = flag.Bool("coordinator", false, "run as a fleet coordinator: serve the store at /v1/cas/ and schedule cache-miss units onto -workers")
+		worker      = flag.Bool("worker", false, "run as a fleet worker: serve /v1/work over the shared CAS given by -cas (no analyze surface)")
+		workerList  = flag.String("workers", "", "comma-separated worker base URLs (coordinator mode)")
+		casURL      = flag.String("cas", "", "shared CAS base URL: required for -worker; optional for -coordinator to use an external CAS instead of its own store")
+		readyFile   = flag.String("ready-file", "", "after listening, write the actual listen address to this file (smoke tests and scripts)")
 	)
 	var checkerFiles []string
 	flag.Func("checker-file", "load a metal checker from a file (repeatable)", func(path string) error {
@@ -67,6 +88,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: xgccd [flags]\n")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if *coordinator && *worker {
+		log.Fatalf("xgccd: -coordinator and -worker are mutually exclusive")
+	}
+
+	// Worker mode: no resident tree, no registry, no analyze surface —
+	// just the job protocol over the shared store.
+	if *worker {
+		if *casURL == "" {
+			log.Fatalf("xgccd: -worker requires -cas (the shared CAS base URL)")
+		}
+		w := fleet.NewWorker(cache.NewHTTPStore(*casURL, nil), *jobs)
+		log.Printf("xgccd: worker listening on %s (cas: %s)", *addr, *casURL)
+		serve(*addr, *readyFile, w.Handler())
+		return
 	}
 
 	opts := mc.DefaultOptions()
@@ -115,14 +151,59 @@ func main() {
 		cfg.Registry = reg
 	}
 
+	if *coordinator {
+		// The coordinator's store IS the shared CAS: served at
+		// /v1/cas/ for workers, analyzed against locally. With -cas it
+		// instead joins an external CAS (and still re-serves it, so
+		// workers may point at either).
+		if *casURL != "" {
+			cfg.Store = cache.NewHTTPStore(*casURL, nil)
+		}
+		cfg.ShareCAS = true
+		var workers []string
+		for _, u := range strings.Split(*workerList, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				workers = append(workers, u)
+			}
+		}
+		if len(workers) == 0 {
+			log.Printf("xgccd: coordinator with no -workers: every unit runs locally until workers join a future restart")
+		}
+		co := fleet.NewCoordinator(fleet.Config{Workers: workers})
+		defer co.Close()
+		cfg.Fleet = co
+		log.Printf("xgccd: coordinator listening on %s (workers: %d)", *addr, len(workers))
+	}
+
 	srv := server.New(cfg)
-	log.Printf("xgccd: listening on %s (checkers: %s, max-inflight: %d)", *addr, *checkerList, *maxInflight)
+	if !*coordinator {
+		log.Printf("xgccd: listening on %s (checkers: %s, max-inflight: %d)", *addr, *checkerList, *maxInflight)
+	}
+	serve(*addr, *readyFile, srv.Handler())
+}
+
+// serve listens, optionally publishes the bound address to readyFile
+// (written atomically next to its final name, so a watcher never reads
+// a half-written path), and blocks serving h.
+func serve(addr, readyFile string, h http.Handler) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("xgccd: listen: %v", err)
+	}
+	if readyFile != "" {
+		tmp := readyFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			log.Fatalf("xgccd: ready file: %v", err)
+		}
+		if err := os.Rename(tmp, readyFile); err != nil {
+			log.Fatalf("xgccd: ready file: %v", err)
+		}
+	}
 	hs := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	if err := hs.ListenAndServe(); err != nil {
+	if err := hs.Serve(ln); err != nil {
 		log.Fatalf("xgccd: %v", err)
 	}
 }

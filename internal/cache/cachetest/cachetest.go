@@ -1,0 +1,186 @@
+// Package cachetest is the shared backend-conformance suite for
+// cache.Store implementations (DESIGN.md §15). Every backend — the
+// local dir store, the in-memory store, the HTTP blob store — must
+// behave identically under it, because the analysis replay layer
+// treats all of them as the same content-addressed space: a behavioral
+// difference between backends would surface as a mode-dependent output
+// difference, which the fleet's byte-identical guarantee forbids.
+package cachetest
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// Conformance runs the full suite against the store that open returns.
+// open is called once per subtest with a distinct namespace-free
+// expectation: each subtest uses its own key space, so one store
+// instance may back all subtests.
+func Conformance(t *testing.T, open func(t *testing.T) cache.Store) {
+	t.Helper()
+	t.Run("GetMissing", func(t *testing.T) {
+		s := open(t)
+		if data, ok := s.Get(cache.Key("conformance", "missing")); ok {
+			t.Fatalf("missing key returned ok with %d bytes", len(data))
+		}
+	})
+	t.Run("PutGetRoundTrip", func(t *testing.T) {
+		s := open(t)
+		key := cache.Key("conformance", "roundtrip")
+		want := []byte("blob \x00\x01\xff payload")
+		if err := s.Put(key, want); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		got, ok := s.Get(key)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("Get = %q ok=%v, want %q", got, ok, want)
+		}
+	})
+	t.Run("EmptyBlob", func(t *testing.T) {
+		s := open(t)
+		key := cache.Key("conformance", "empty")
+		if err := s.Put(key, nil); err != nil {
+			t.Fatalf("Put empty: %v", err)
+		}
+		got, ok := s.Get(key)
+		if !ok || len(got) != 0 {
+			t.Fatalf("empty blob: got %q ok=%v, want empty ok", got, ok)
+		}
+	})
+	t.Run("OverwriteIdempotent", func(t *testing.T) {
+		s := open(t)
+		key := cache.Key("conformance", "overwrite")
+		for i := 0; i < 3; i++ {
+			if err := s.Put(key, []byte("same content")); err != nil {
+				t.Fatalf("Put %d: %v", i, err)
+			}
+		}
+		got, ok := s.Get(key)
+		if !ok || string(got) != "same content" {
+			t.Fatalf("after overwrites: %q ok=%v", got, ok)
+		}
+	})
+	t.Run("Has", func(t *testing.T) {
+		s := open(t)
+		key := cache.Key("conformance", "has")
+		if cache.Has(s, key) {
+			t.Fatal("Has on missing key = true")
+		}
+		if err := s.Put(key, []byte("x")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		if !cache.Has(s, key) {
+			t.Fatal("Has on stored key = false")
+		}
+	})
+	t.Run("Batch", func(t *testing.T) {
+		s := open(t)
+		entries := map[string][]byte{}
+		var keys []string
+		for i := 0; i < 20; i++ {
+			k := cache.Key("conformance", "batch", fmt.Sprint(i))
+			entries[k] = []byte(fmt.Sprintf("entry-%d", i))
+			keys = append(keys, k)
+		}
+		if err := cache.PutBatch(s, entries); err != nil {
+			t.Fatalf("PutBatch: %v", err)
+		}
+		// Ask for all stored keys plus two absent ones: the found map
+		// must hold exactly the stored set.
+		probe := append(append([]string(nil), keys...),
+			cache.Key("conformance", "batch", "absent-a"),
+			cache.Key("conformance", "batch", "absent-b"))
+		got := cache.GetBatch(s, probe)
+		if len(got) != len(entries) {
+			t.Fatalf("GetBatch found %d entries, want %d", len(got), len(entries))
+		}
+		for k, want := range entries {
+			if !bytes.Equal(got[k], want) {
+				t.Fatalf("GetBatch[%s] = %q, want %q", k, got[k], want)
+			}
+		}
+		// Batch and single-key views must agree.
+		for k, want := range entries {
+			single, ok := s.Get(k)
+			if !ok || !bytes.Equal(single, want) {
+				t.Fatalf("Get after PutBatch: %q ok=%v, want %q", single, ok, want)
+			}
+		}
+	})
+	t.Run("EmptyBatch", func(t *testing.T) {
+		s := open(t)
+		if err := cache.PutBatch(s, nil); err != nil {
+			t.Fatalf("empty PutBatch: %v", err)
+		}
+		if got := cache.GetBatch(s, nil); len(got) != 0 {
+			t.Fatalf("empty GetBatch returned %d entries", len(got))
+		}
+	})
+	t.Run("ConcurrentWriters", func(t *testing.T) {
+		// Same-key concurrent writers always write identical content in
+		// the content-addressed world; the store must never surface a
+		// torn mix. Distinct-key writers must all land.
+		s := open(t)
+		const writers = 8
+		const rounds = 25
+		var wg sync.WaitGroup
+		sameKey := cache.Key("conformance", "concurrent-same")
+		same := bytes.Repeat([]byte("identical-content-"), 64)
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					if err := s.Put(sameKey, same); err != nil {
+						t.Errorf("writer %d: %v", w, err)
+						return
+					}
+					k := cache.Key("conformance", "concurrent", fmt.Sprint(w), fmt.Sprint(i))
+					if err := s.Put(k, []byte(fmt.Sprintf("w%d-i%d", w, i))); err != nil {
+						t.Errorf("writer %d: %v", w, err)
+						return
+					}
+					if data, ok := s.Get(sameKey); ok && !bytes.Equal(data, same) {
+						t.Errorf("torn read: %d bytes", len(data))
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if got, ok := s.Get(sameKey); !ok || !bytes.Equal(got, same) {
+			t.Fatalf("same-key entry lost after concurrent writers (ok=%v)", ok)
+		}
+		for w := 0; w < writers; w++ {
+			for i := 0; i < rounds; i++ {
+				k := cache.Key("conformance", "concurrent", fmt.Sprint(w), fmt.Sprint(i))
+				if got, ok := s.Get(k); !ok || string(got) != fmt.Sprintf("w%d-i%d", w, i) {
+					t.Fatalf("distinct-key entry w%d i%d lost (ok=%v got=%q)", w, i, ok, got)
+				}
+			}
+		}
+	})
+	t.Run("CorruptEntryTolerance", func(t *testing.T) {
+		// A corrupted entry must never panic the replay layer: the
+		// decode fails and the consumer treats the key as a miss. The
+		// store itself only promises to return bytes or a miss.
+		s := open(t)
+		key := cache.Key("conformance", "corrupt")
+		if err := s.Put(key, []byte("{\"truncated\": ")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		data, ok := s.Get(key)
+		if !ok {
+			// A backend that detects and drops corrupt entries is also
+			// conformant: a miss is always safe.
+			return
+		}
+		if _, err := cache.DecodeUnit(data); err == nil {
+			t.Fatal("DecodeUnit accepted a truncated entry")
+		}
+	})
+}

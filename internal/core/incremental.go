@@ -44,6 +44,30 @@ type MarkEvent struct {
 	Key  string
 }
 
+// Events lists the annotation store as sorted MarkEvents — the wire
+// form of the marks visible at a phase barrier, applied on a fleet
+// worker before it runs a unit (DESIGN.md §15). Marks are an
+// idempotent boolean set, so sorted re-application reconstructs the
+// same store regardless of original emission order. Must not be
+// called while engines are running.
+func (s *Shared) Events() []MarkEvent {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var evs []MarkEvent
+	for name, keys := range s.FnMarks {
+		for k := range keys {
+			evs = append(evs, MarkEvent{Name: name, Key: k})
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Name != evs[j].Name {
+			return evs[i].Name < evs[j].Name
+		}
+		return evs[i].Key < evs[j].Key
+	})
+	return evs
+}
+
 // Snapshot renders the annotation store as a deterministic string
 // (sorted "name|key" lines). The incremental cache folds it into each
 // phase's cache key: a unit analyzed under different visible marks is

@@ -12,6 +12,19 @@ import (
 	"runtime/pprof"
 )
 
+// HostFacts records the machine shape a benchmark ran on, embedded in
+// every BENCH_*.json next to peak_rss_bytes so a number can be read
+// against the hardware that produced it.
+type HostFacts struct {
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+// Host snapshots the current process's host facts.
+func Host() HostFacts {
+	return HostFacts{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+}
+
 // Start begins CPU profiling into cpuPath when non-empty and returns a
 // stop function that finishes the profile and then, when memPath is
 // non-empty, writes an allocs-included heap profile. The stop function

@@ -40,6 +40,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -53,9 +54,11 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/feas"
+	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/registry"
 	"repro/internal/report"
+	"repro/internal/singleflight"
 	"repro/mc"
 )
 
@@ -97,6 +100,14 @@ type Config struct {
 	// Harness tunes checker validation; the zero value means
 	// harness.DefaultConfig() with the daemon's Jobs setting.
 	Harness harness.Config
+	// Fleet, when non-nil, schedules each run's cache-miss units onto
+	// the coordinator's workers (DESIGN.md §15). The store MUST then be
+	// the same shared CAS the workers write to. Nil keeps every unit
+	// local — the single-process mode, byte-identical either way.
+	Fleet *fleet.Coordinator
+	// ShareCAS mounts the daemon's store at /v1/cas/ so fleet workers
+	// (and sibling coordinators) can read and fill it over HTTP.
+	ShareCAS bool
 	// Verify enables the asynchronous feasibility-verdict pipeline
 	// (DESIGN.md §13): analyze responses return immediately with every
 	// report marked "unverified", and a bounded worker pool replays
@@ -123,6 +134,13 @@ type Server struct {
 	store cache.Store
 	sem   chan struct{}
 	runMu sync.Mutex
+
+	// flight coalesces concurrent identical analyze requests: K posts
+	// that denote the same (tree, patch, tenant, checker set) share one
+	// analysis and one response (DESIGN.md §15). Coalescing sits in
+	// front of admission, so a burst of duplicates costs one semaphore
+	// slot.
+	flight singleflight.Group[*bufferedResponse]
 
 	// testRunHook, when set, runs inside the admitted, serialized run
 	// section before the analysis starts. Tests use it to hold a run
@@ -155,6 +173,9 @@ type Server struct {
 	validationsAdmitted int64
 	validationsRejected int64
 	lastEnabled         map[string]string
+	// coalescedAnalyzes counts analyze requests that shared another
+	// request's in-flight run instead of starting their own.
+	coalescedAnalyzes int64
 
 	// Feasibility pipeline (nil unless Config.Verify; DESIGN.md §13).
 	// verifyCur marks the reports of the current run: a new analysis
@@ -273,6 +294,9 @@ func (s *Server) newAnalyzer(tree map[string]string, tenant string) (*mc.Analyze
 		Budgets:       s.cfg.Budgets,
 		MaxResidentMB: s.cfg.MaxResidentMB,
 		SpillDir:      s.cfg.SpillDir,
+	}
+	if s.cfg.Fleet != nil {
+		cfg.UnitRunner = s.cfg.Fleet.RunnerFor(tenant)
 	}
 	if err := a.Configure(cfg); err != nil {
 		return nil, err
@@ -415,6 +439,28 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/checkers/{id}/enable", s.handleCheckerEnable)
 	mux.HandleFunc("POST /v1/checkers/{id}/disable", s.handleCheckerDisable)
 	mux.HandleFunc("DELETE /v1/checkers/{id}", s.handleCheckerDelete)
+	// Liveness probe, shaped like the fleet worker's so one health
+	// check covers every role; the role field tells them apart.
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		role := "daemon"
+		if s.cfg.Fleet != nil {
+			role = "coordinator"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"role\":%q}\n", role)
+	})
+	if s.cfg.ShareCAS {
+		// The shared CAS surface (DESIGN.md §15): fleet workers and
+		// sibling coordinators read and fill the same store the daemon
+		// analyzes against. Content-addressed keys make this safe —
+		// every write is a complete computation under its own name.
+		cas := http.StripPrefix("/v1/cas", cache.NewCASServer(s.store))
+		mux.Handle("/v1/cas/", cas)
+		// Exact-path registration too: without it ServeMux 301s a
+		// batch POST to /v1/cas, and Go clients rewrite a redirected
+		// POST into a GET.
+		mux.Handle("/v1/cas", cas)
+	}
 	// Wrong-method (and unknown-subpath) requests under /v1/checkers
 	// would otherwise get the mux's plain-text 405; keep the enveloped
 	// surface uniform.
@@ -471,6 +517,68 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Request coalescing (DESIGN.md §15): concurrent requests that
+	// denote the same analysis — same resulting tree, tenant, and
+	// active checker set — share one run and one response. Sound
+	// because the patch is idempotent: applying it once on behalf of
+	// everyone commits the same resident tree. The run executes under
+	// the flight's call-scoped context, so one impatient client cannot
+	// cancel the work for the rest.
+	key := s.analyzeKey(tenant, &req)
+	out, shared, err := s.flight.Do(r.Context(), key, func(ctx context.Context) *bufferedResponse {
+		br := newBufferedResponse()
+		s.runAnalyze(br, ctx, tenant, &req)
+		return br
+	})
+	if err != nil {
+		// This caller gave up before the shared run finished; the run
+		// itself continues for (or was completed by) the others.
+		writeError(w, http.StatusServiceUnavailable, "timeout",
+			"request abandoned before the coalesced analysis finished", err.Error())
+		return
+	}
+	if shared {
+		s.mu.Lock()
+		s.coalescedAnalyzes++
+		s.mu.Unlock()
+	}
+	out.replay(w)
+}
+
+// analyzeKey fingerprints the analysis a request denotes: the resident
+// tree it would commit (base tree plus canonical patch), the tenant,
+// and the tenant's active checker set. Content-addressed like the
+// cache itself, so two requests coalesce exactly when their runs would
+// be indistinguishable.
+func (s *Server) analyzeKey(tenant string, req *AnalyzeRequest) string {
+	var base []string
+	if !req.Reset {
+		s.mu.Lock()
+		for name, src := range s.srcs {
+			base = append(base, name+"\x00"+src)
+		}
+		s.mu.Unlock()
+		sort.Strings(base)
+	}
+	removes := append([]string(nil), req.Remove...)
+	sort.Strings(removes)
+	patch := make([]string, 0, len(req.Files))
+	for name, src := range req.Files {
+		patch = append(patch, name+"\x00"+src)
+	}
+	sort.Strings(patch)
+	return cache.Key("analyze", tenant,
+		strings.Join(s.cfg.Registry.EnabledIDs(tenant), ","),
+		strconv.FormatBool(req.Reset),
+		strings.Join(base, "\x01"),
+		strings.Join(removes, "\x01"),
+		strings.Join(patch, "\x01"))
+}
+
+// runAnalyze is the admitted analysis path; it writes exactly one
+// response to w (a bufferedResponse when the request came through the
+// coalescing layer).
+func (s *Server) runAnalyze(w http.ResponseWriter, ctx context.Context, tenant string, req *AnalyzeRequest) {
 	// Admission control: try-acquire, never queue. A daemon saturated
 	// with analyses sheds load immediately instead of stacking
 	// goroutines behind runMu.
@@ -497,7 +605,6 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	}()
 
-	ctx := r.Context()
 	if s.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
@@ -698,6 +805,11 @@ type StatsResponse struct {
 	ValidationsAdmitted int64 `json:"validations_admitted"`
 	ValidationsRejected int64 `json:"validations_rejected"`
 	RegistryCheckers    int   `json:"registry_checkers"`
+	// Fleet counters (DESIGN.md §15): analyze requests that shared an
+	// in-flight identical run, and — on a coordinator — the job
+	// scheduler's dispatch/fill/requeue accounting.
+	CoalescedAnalyzes int64        `json:"coalesced_analyzes"`
+	Fleet             *fleet.Stats `json:"fleet,omitempty"`
 
 	Files    int                   `json:"files"`
 	Reports  int                   `json:"reports"`
@@ -742,6 +854,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ValidationsAdmitted: s.validationsAdmitted,
 		ValidationsRejected: s.validationsRejected,
 		RegistryCheckers:    len(s.cfg.Registry.List()),
+		CoalescedAnalyzes:   s.coalescedAnalyzes,
+	}
+	if s.cfg.Fleet != nil {
+		fs := s.cfg.Fleet.Stats()
+		resp.Fleet = &fs
 	}
 	if s.last != nil {
 		resp.Reports = len(s.last.Reports)
@@ -786,6 +903,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("xgccd_spill_bytes_total", s.spillBytes, "bytes written to the spill store")
 	counter("xgccd_asts_released_total", s.astsReleased, "function bodies released after unit retirement")
 	counter("xgccd_checker_reloads_total", s.checkerReloads, "active checker-set changes picked up by analyze runs")
+	counter("xgccd_coalesced_analyzes_total", s.coalescedAnalyzes, "analyze requests that shared an identical in-flight run")
+	if s.cfg.Fleet != nil {
+		fs := s.cfg.Fleet.Stats()
+		counter("xgccd_fleet_dispatched_total", fs.Dispatched, "unit jobs admitted to the fleet queue")
+		counter("xgccd_fleet_filled_total", fs.Filled, "unit jobs a worker completed into the shared CAS")
+		counter("xgccd_fleet_requeues_total", fs.Requeues, "unit jobs requeued after a worker transport failure")
+		counter("xgccd_fleet_refused_total", fs.Refused, "unit jobs refused at admission (queue full or tenant quota)")
+		counter("xgccd_fleet_local_fallback_total", fs.LocalFallback, "unit jobs that fell back to local execution")
+		counter("xgccd_fleet_batches_total", fs.Batches, "worker batch round-trips")
+		gauge("xgccd_fleet_workers", float64(fs.Workers), "configured fleet workers")
+	}
 	fmt.Fprintf(&sb, "# HELP xgccd_validations_total checker validations by outcome\n# TYPE xgccd_validations_total counter\n")
 	fmt.Fprintf(&sb, "xgccd_validations_total{outcome=\"admitted\"} %d\n", s.validationsAdmitted)
 	fmt.Fprintf(&sb, "xgccd_validations_total{outcome=\"rejected\"} %d\n", s.validationsRejected)
@@ -818,6 +946,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		gauge("xgccd_funcs_analyzed_replayed", float64(in.FuncsAnalyzedReplayed), "function analyses replayed from cache")
 		gauge("xgccd_units_live", float64(in.UnitsLive), "units analyzed live")
 		gauge("xgccd_units_replayed", float64(in.UnitsReplayed), "units replayed from cache")
+		gauge("xgccd_units_remote", float64(in.UnitsRemote), "units a fleet worker filled during the last run")
 		gauge("xgccd_files_reparsed", float64(in.FilesReparsed), "files re-parsed")
 		gauge("xgccd_files_replayed", float64(in.FilesReplayed), "files replayed from the AST cache")
 		gauge("xgccd_phase_parse_seconds", float64(in.ParseNanos)/1e9, "pass-1 wall time")
@@ -826,6 +955,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		gauge("xgccd_phase_merge_seconds", float64(in.MergeNanos)/1e9, "result merge wall time")
 	}
 	w.Write([]byte(sb.String()))
+}
+
+// bufferedResponse captures one handler's full response — status,
+// headers, body — so the coalescing layer can replay it verbatim to
+// every caller that shared the run.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func newBufferedResponse() *bufferedResponse {
+	return &bufferedResponse{header: http.Header{}, status: http.StatusOK}
+}
+
+func (b *bufferedResponse) Header() http.Header         { return b.header }
+func (b *bufferedResponse) WriteHeader(code int)        { b.status = code }
+func (b *bufferedResponse) Write(p []byte) (int, error) { return b.body.Write(p) }
+
+// replay copies the captured response onto a real writer.
+func (b *bufferedResponse) replay(w http.ResponseWriter) {
+	for k, vs := range b.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(b.status)
+	w.Write(b.body.Bytes())
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

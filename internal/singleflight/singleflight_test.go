@@ -1,0 +1,161 @@
+package singleflight
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCoalesce pins the core contract: N concurrent callers of one
+// key perform the computation once and all see its value.
+func TestCoalesce(t *testing.T) {
+	var g Group[int]
+	var calls atomic.Int64
+	release := make(chan struct{})
+
+	const n = 16
+	var wg sync.WaitGroup
+	vals := make([]int, n)
+	followers := atomic.Int64{}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, follower, err := g.Do(context.Background(), "k", func(context.Context) int {
+				calls.Add(1)
+				<-release
+				return 42
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			if follower {
+				followers.Add(1)
+			}
+			vals[i] = v
+		}(i)
+	}
+	// Let the callers pile onto the in-flight call before releasing it.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("computation ran %d times, want 1", got)
+	}
+	if got := followers.Load(); got != n-1 {
+		t.Fatalf("followers = %d, want %d", got, n-1)
+	}
+	for i, v := range vals {
+		if v != 42 {
+			t.Fatalf("caller %d got %d, want 42", i, v)
+		}
+	}
+}
+
+// TestDistinctKeysDoNotCoalesce: different keys run independently.
+func TestDistinctKeysDoNotCoalesce(t *testing.T) {
+	var g Group[string]
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for _, key := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			v, _, _ := g.Do(context.Background(), key, func(context.Context) string {
+				calls.Add(1)
+				return key
+			})
+			if v != key {
+				t.Errorf("key %s got %s", key, v)
+			}
+		}(key)
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("calls = %d, want 3", got)
+	}
+}
+
+// TestFollowerContextExpiry: a follower whose own context dies returns
+// promptly with the context error while the leader finishes normally.
+func TestFollowerContextExpiry(t *testing.T) {
+	var g Group[int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan int)
+	go func() {
+		v, _, _ := g.Do(context.Background(), "k", func(context.Context) int {
+			close(started)
+			<-release
+			return 7
+		})
+		leaderDone <- v
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, follower, err := g.Do(ctx, "k", func(context.Context) int { return -1 })
+	if !follower {
+		t.Fatal("expected to join the in-flight call")
+	}
+	if err == nil {
+		t.Fatal("expected context error for the departed follower")
+	}
+	close(release)
+	if v := <-leaderDone; v != 7 {
+		t.Fatalf("leader got %d, want 7", v)
+	}
+}
+
+// TestLastWaiterCancelsCall: when every caller departs, the call's
+// context is cancelled so the computation can stop.
+func TestLastWaiterCancelsCall(t *testing.T) {
+	var g Group[int]
+	cancelled := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g.Do(ctx, "k", func(cctx context.Context) int {
+			<-cctx.Done()
+			close(cancelled)
+			return 0
+		})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel() // sole caller departs; call ctx must cancel
+	select {
+	case <-cancelled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("call context was not cancelled after the last caller departed")
+	}
+	<-done
+}
+
+// TestSequentialReuse: a key can be used again after its call
+// completes — the second call runs fresh.
+func TestSequentialReuse(t *testing.T) {
+	var g Group[int]
+	n := 0
+	for i := 1; i <= 3; i++ {
+		v, follower, err := g.Do(context.Background(), "k", func(context.Context) int {
+			n++
+			return n
+		})
+		if err != nil || follower {
+			t.Fatalf("run %d: follower=%v err=%v", i, follower, err)
+		}
+		if v != i {
+			t.Fatalf("run %d: got %d", i, v)
+		}
+	}
+}

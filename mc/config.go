@@ -63,6 +63,11 @@ type RunConfig struct {
 	// Timeout bounds each RunContext call; RunContext derives a
 	// deadline context per run. Zero means no analyzer-imposed bound.
 	Timeout time.Duration
+	// UnitRunner, when non-nil, is offered each phase's cache-miss
+	// units before they run locally (fleet dispatch, DESIGN.md §15).
+	// Requires a cache store: workers fill unit keys in the shared
+	// store and the analyzer replays them. Ignored without one.
+	UnitRunner UnitRunner
 }
 
 // Configure applies a consolidated configuration. Fields at their
@@ -101,6 +106,9 @@ func (a *Analyzer) Configure(cfg RunConfig) error {
 	}
 	if cfg.Timeout > 0 {
 		a.timeout = cfg.Timeout
+	}
+	if cfg.UnitRunner != nil {
+		a.unitRunner = cfg.UnitRunner
 	}
 	return nil
 }
@@ -147,5 +155,10 @@ func (a *Analyzer) LoadCheckerWithCallouts(src string, callouts map[string]Callo
 	}
 	a.checkers = append(a.checkers, c)
 	a.checkerFPs = append(a.checkerFPs, cc.HashBytes([]byte(src)))
+	// Native callouts cannot ride a fleet job (the Go code is not in
+	// the source text), so no shippable source is retained — such
+	// checkers always run on the coordinator, exactly as they always
+	// run live for the cache.
+	a.checkerSrcs = append(a.checkerSrcs, "")
 	return nil
 }

@@ -70,9 +70,13 @@ type IncrStats struct {
 	FilesReparsed int `json:"files_reparsed"`
 	FilesReplayed int `json:"files_replayed"`
 
-	// Unit reuse, counted per (checker, unit) pair.
+	// Unit reuse, counted per (checker, unit) pair. UnitsRemote is the
+	// subset of UnitsReplayed that a fleet worker filled during this
+	// run (a remote fill is replayed from the shared store like any
+	// warm hit); replays with UnitsRemote == 0 came from prior runs.
 	UnitsLive     int `json:"units_live"`
 	UnitsReplayed int `json:"units_replayed"`
+	UnitsRemote   int `json:"units_remote"`
 
 	// Function analyses (traversal starts) performed live versus
 	// replayed from cache — the experiment's headline ratio.
@@ -219,14 +223,20 @@ func (a *Analyzer) runCached(ctx context.Context) (*Result, error) {
 			case (c.UsesAction("mark_fn") && c.UsesCallout("mc_fn_marked")) || a.opts.MaxBlocks > 0:
 				// Whole-program single unit (see package comment).
 				key := cache.UnitKey(a.checkerFPs[ci], optsFP, envFP, marksFP, unitFP(p.All))
-				tasks = append(tasks, a.lookupTask(ci, p.All, p.Roots, key))
+				tasks = append(tasks, &unitTask{ci: ci, funcs: p.All, roots: p.Roots, key: key})
 			default:
 				for _, u := range units {
 					key := cache.UnitKey(a.checkerFPs[ci], optsFP, envFP, marksFP, unitFP(u.Funcs))
-					tasks = append(tasks, a.lookupTask(ci, u.Funcs, u.Roots, key))
+					tasks = append(tasks, &unitTask{ci: ci, funcs: u.Funcs, roots: u.Roots, key: key})
 				}
 			}
 		}
+
+		// Probe the store for every keyed task in one batched
+		// round-trip, then offer what is still missing to the fleet
+		// (DESIGN.md §15); unfilled keys run locally below.
+		a.probeTasks(tasks)
+		a.dispatchRemote(ctx, tasks, a.shared.Events(), incr)
 
 		// Run the misses concurrently; slots acquired in task order so
 		// -j 1 degenerates to the sequential schedule.
@@ -259,9 +269,11 @@ func (a *Analyzer) runCached(ctx context.Context) (*Result, error) {
 		// Post-phase: replayed marks join the store (live marks landed
 		// during the run; ordering within the phase is immaterial —
 		// marks are an idempotent set read only after the barrier),
-		// and fresh results are written back. Degraded or failed units
-		// must never be cached: their entries would replay truncated
-		// output as if it were complete.
+		// and fresh results are written back in one batched store
+		// round-trip. Degraded or failed units must never be cached:
+		// their entries would replay truncated output as if it were
+		// complete.
+		var puts map[string][]byte
 		for _, t := range tasks {
 			if t.entry != nil {
 				for _, ev := range t.entry.Marks {
@@ -276,9 +288,15 @@ func (a *Analyzer) runCached(ctx context.Context) (*Result, error) {
 			}
 			if t.key != "" && t.eng.Failure == nil && !t.eng.Degraded() {
 				if data, err := cache.EncodeUnit(a.buildEntry(t)); err == nil {
-					a.cacheStore.Put(t.key, data) // best effort
+					if puts == nil {
+						puts = map[string][]byte{}
+					}
+					puts[t.key] = data
 				}
 			}
+		}
+		if len(puts) > 0 {
+			cache.PutBatch(a.cacheStore, puts) // best effort
 		}
 		for _, t := range tasks {
 			tasksByChecker[t.ci] = append(tasksByChecker[t.ci], t)
@@ -385,16 +403,99 @@ func (a *Analyzer) runCached(ctx context.Context) (*Result, error) {
 	return res, nil
 }
 
-// lookupTask probes the store for a unit entry; a decode failure is a
-// miss (the entry re-runs live and is overwritten).
-func (a *Analyzer) lookupTask(ci int, funcs, roots []*prog.Function, key string) *unitTask {
-	t := &unitTask{ci: ci, funcs: funcs, roots: roots, key: key}
-	if data, ok := a.cacheStore.Get(key); ok {
+// probeTasks fills task entries from the store in one batched
+// round-trip (cache.GetBatch collapses to one POST on a batch-capable
+// backend). A decode failure is a miss, exactly as the old per-key
+// probe treated it: the unit re-runs live and is overwritten.
+func (a *Analyzer) probeTasks(tasks []*unitTask) {
+	var keys []string
+	byKey := map[string]*unitTask{}
+	for _, t := range tasks {
+		if t.key == "" {
+			continue
+		}
+		keys = append(keys, t.key)
+		byKey[t.key] = t
+	}
+	if len(keys) == 0 {
+		return
+	}
+	for key, data := range cache.GetBatch(a.cacheStore, keys) {
 		if e, err := cache.DecodeUnit(data); err == nil {
-			t.entry = e
+			byKey[key].entry = e
 		}
 	}
-	return t
+}
+
+// dispatchRemote offers the phase's cache misses to the fleet unit
+// runner (DESIGN.md §15), then re-probes the store: workers fill unit
+// keys with complete entries, and whatever appeared replays through
+// the ordinary path. Keys the runner did not fill stay misses and run
+// locally — worker loss or a runner error never fails the analysis.
+// Pre-parsed ASTs (AddAST) have no source text to ship, so such runs
+// never dispatch.
+func (a *Analyzer) dispatchRemote(ctx context.Context, tasks []*unitTask, marks []core.MarkEvent, incr *IncrStats) {
+	if a.unitRunner == nil || len(a.files) > 0 {
+		return
+	}
+	var jobs []UnitJob
+	var pending []*unitTask
+	for _, t := range tasks {
+		if t.key == "" || t.entry != nil || a.checkerSrcs[t.ci] == "" {
+			continue
+		}
+		funcs := make([]string, len(t.funcs))
+		for i, fn := range t.funcs {
+			funcs[i] = prog.FuncID(fn)
+		}
+		roots := make([]string, len(t.roots))
+		for i, fn := range t.roots {
+			roots[i] = prog.FuncID(fn)
+		}
+		jobs = append(jobs, UnitJob{
+			Key:        t.key,
+			CheckerSrc: a.checkerSrcs[t.ci],
+			CheckerFP:  a.checkerFPs[t.ci],
+			Funcs:      funcs,
+			Roots:      roots,
+			Marks:      marks,
+		})
+		pending = append(pending, t)
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	files := make(map[string]string, len(a.srcs))
+	treeLines := make([]string, 0, len(a.srcs))
+	for name, src := range a.srcs {
+		files[name] = src
+		treeLines = append(treeLines, name+"="+cc.HashBytes([]byte(src)))
+	}
+	sort.Strings(treeLines)
+	run := &UnitRun{
+		TreeFP:  cache.Key("tree", strings.Join(treeLines, "\n")),
+		Files:   files,
+		Options: a.opts,
+		Jobs:    jobs,
+	}
+	if err := a.unitRunner(ctx, run); err != nil {
+		return // every job falls back to a local run
+	}
+	keys := make([]string, len(pending))
+	for i, t := range pending {
+		keys[i] = t.key
+	}
+	found := cache.GetBatch(a.cacheStore, keys)
+	for _, t := range pending {
+		data, ok := found[t.key]
+		if !ok {
+			continue
+		}
+		if e, err := cache.DecodeUnit(data); err == nil {
+			t.entry = e
+			incr.UnitsRemote++
+		}
+	}
 }
 
 // buildEntry serializes a live unit run for the store. Streaming runs
@@ -511,14 +612,24 @@ func (a *Analyzer) parseCachedSources(incr *IncrStats) ([]*cc.File, error) {
 	}
 	sort.Strings(names)
 
+	// One batched Get for every file's AST key up front, one batched
+	// Put for every freshly emitted AST at the end — on a batch-capable
+	// backend (shared CAS) the whole pass-1 cache costs two
+	// round-trips regardless of file count.
+	keys := make([]string, len(names))
+	for i, name := range names {
+		keys[i] = cache.ASTKey(name, cc.HashBytes([]byte(a.srcs[name])))
+	}
+	cached := cache.GetBatch(a.cacheStore, keys)
+
 	parsed := make([]*cc.File, len(names))
 	errs := make([]error, len(names))
 	replayed := make([]bool, len(names))
+	emitted := make([][]byte, len(names))
 	one := func(i int) {
 		name := names[i]
 		src := a.srcs[name]
-		key := cache.ASTKey(name, cc.HashBytes([]byte(src)))
-		if data, ok := a.cacheStore.Get(key); ok {
+		if data, ok := cached[keys[i]]; ok {
 			if f, err := cc.ReadFile(data); err == nil {
 				parsed[i], replayed[i] = f, true
 				return
@@ -530,7 +641,7 @@ func (a *Analyzer) parseCachedSources(incr *IncrStats) ([]*cc.File, error) {
 			return
 		}
 		parsed[i] = f
-		a.cacheStore.Put(key, cc.EmitFile(f)) // best effort
+		emitted[i] = cc.EmitFile(f)
 	}
 
 	workers := a.parallelism()
@@ -558,6 +669,18 @@ func (a *Analyzer) parseCachedSources(incr *IncrStats) ([]*cc.File, error) {
 		for i := range names {
 			one(i)
 		}
+	}
+	var puts map[string][]byte
+	for i, data := range emitted {
+		if data != nil {
+			if puts == nil {
+				puts = map[string][]byte{}
+			}
+			puts[keys[i]] = data
+		}
+	}
+	if len(puts) > 0 {
+		cache.PutBatch(a.cacheStore, puts) // best effort
 	}
 	for i, err := range errs {
 		if err != nil {

@@ -64,6 +64,13 @@ type Analyzer struct {
 	cacheStore   cache.Store
 	cacheMetrics *cache.Metrics
 	checkerFPs   []string
+	// checkerSrcs retains each loaded checker's metal source so fleet
+	// jobs can ship it to workers (RunConfig.UnitRunner); entries are
+	// "" for checkers without shippable source.
+	checkerSrcs []string
+	// unitRunner, when set, is offered each phase's cache-miss units
+	// before they run locally (RunConfig.UnitRunner; DESIGN.md §15).
+	unitRunner func(ctx context.Context, run *UnitRun) error
 	// timeout bounds each RunContext call (RunConfig.Timeout); zero
 	// means no bound beyond the caller's context.
 	timeout time.Duration
@@ -153,6 +160,7 @@ func (a *Analyzer) LoadChecker(src string) error {
 	}
 	a.checkers = append(a.checkers, c)
 	a.checkerFPs = append(a.checkerFPs, cc.HashBytes([]byte(src)))
+	a.checkerSrcs = append(a.checkerSrcs, src)
 	return nil
 }
 

@@ -1,0 +1,57 @@
+package mc
+
+// Fleet unit dispatch (DESIGN.md §15): the analyzer-side half of the
+// coordinator/worker protocol. When RunConfig.UnitRunner is set, the
+// cached run path offers each phase's cache-miss units to it as a
+// UnitRun batch before running them locally. Workers are "fill this
+// cache key" services: a worker computes the complete unit entry and
+// writes it to the shared store under the job's key; the coordinator
+// then re-probes the store and replays whatever appeared through the
+// ordinary (byte-identical-pinned) replay path. Keys the runner did
+// not fill — worker loss, degraded remote runs, transport failures —
+// simply stay misses and run locally, so the fallback path is the
+// normal path and no new consistency argument is needed.
+
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+// MarkEvent re-exports one composition-mark record (core.MarkEvent).
+// A UnitJob carries the annotation store visible at its phase barrier
+// as sorted MarkEvents; marks are an idempotent boolean set, so the
+// worker reconstructs the same store by re-applying them.
+type MarkEvent = core.MarkEvent
+
+// UnitJob is one cache-miss (checker, unit) pair offered to the unit
+// runner. Funcs and Roots are prog.FuncIDs into the program built from
+// UnitRun.Files; CheckerSrc is the full metal source (checkers with
+// native Go callouts are never offered — their code cannot ride a
+// wire). Key is the content-addressed unit key the worker must fill.
+type UnitJob struct {
+	Key        string      `json:"key"`
+	CheckerSrc string      `json:"checker_src"`
+	CheckerFP  string      `json:"checker_fp"`
+	Funcs      []string    `json:"funcs"`
+	Roots      []string    `json:"roots"`
+	Marks      []MarkEvent `json:"marks,omitempty"`
+}
+
+// UnitRun is one phase's batch of cache-miss units. Files is the full
+// source set (workers rebuild the whole program — unit fingerprints
+// include the declaration environment, so a partial tree would re-key
+// everything); Options are the coordinator's engine options (workers
+// may zero MaxResidentMB: it is excluded from the options fingerprint
+// and entries with or without inline summaries replay identically).
+type UnitRun struct {
+	TreeFP  string            `json:"tree_fp"`
+	Files   map[string]string `json:"files"`
+	Options Options           `json:"options"`
+	Jobs    []UnitJob         `json:"jobs"`
+}
+
+// UnitRunner executes a UnitRun batch, filling cache keys as a side
+// effect. An error (or any unfilled key) means those units run
+// locally; it never fails the analysis.
+type UnitRunner = func(ctx context.Context, run *UnitRun) error
